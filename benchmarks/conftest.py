@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+One scenario run (the paper's full deployment at laptop scale) is shared by
+every scenario-driven benchmark; the CDN vantage is shared by the
+longitudinal ones.  Each benchmark times its *analysis* step and writes the
+paper-shaped rows to ``results/<experiment>.txt`` (stdout is captured by
+pytest; the files are the artifact).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.sim import ScenarioConfig, run_scenario
+from repro.sim.cdn import CdnVantage
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scenario_result():
+    """The deployment scenario every NT-A experiment analyzes."""
+    config = ScenarioConfig(
+        seed=11,
+        duration_days=100,
+        volume_scale=2e-4,
+        n_tail=140,
+        withdraw_after_days=50,
+    )
+    return run_scenario(config)
+
+
+@pytest.fixture(scope="session")
+def cdn_vantage():
+    """The two-year CDN capture model (Figs 1/2/13, Table 6)."""
+    return CdnVantage(rng=42)
+
+
+@pytest.fixture
+def publish():
+    """Write an experiment's rendered rows to results/ and echo them."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(experiment_id: str, rendered: str) -> None:
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(rendered + "\n")
+        print(f"\n{rendered}\n[written to {path}]")
+
+    return _publish

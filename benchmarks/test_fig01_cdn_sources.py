@@ -1,0 +1,14 @@
+"""Figure 1: weekly CDN scan sources grow across aggregation levels."""
+
+from repro.experiments import fig1
+
+
+def test_fig1_cdn_source_growth(benchmark, cdn_vantage, publish):
+    result = benchmark(fig1, cdn_vantage)
+    publish("fig01", result.render())
+    # Paper shape: /128 sources more than double; /64 and /48 grow too.
+    assert result.growth_128 > 1.5
+    assert result.growth_64 > 1.5
+    assert result.growth_48 > 1.5
+    # Aggregated counts are ordered: /128 >= /64 >= /48 in every week.
+    assert (result.sources_64 >= result.sources_48).all()

@@ -1,0 +1,13 @@
+"""Figure 2: weekly CDN scan packets grow ~100x and de-concentrate."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_cdn_packet_growth(benchmark, cdn_vantage, publish):
+    result = benchmark(fig2, cdn_vantage)
+    publish("fig02", result.render())
+    # Paper shape: packet volume grows two orders of magnitude...
+    assert result.growth > 15
+    # ...and early-window dominance by the top source fades.
+    assert result.early_top_share > result.late_top_share
+    assert result.early_top_share > 0.3

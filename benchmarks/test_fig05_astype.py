@@ -1,0 +1,23 @@
+"""Figure 5: per-AS-type traffic/source/destination breakdown."""
+
+from repro.datasets.asdb import AsCategory
+from repro.experiments import fig5
+
+
+def test_fig5_as_type_breakdown(benchmark, scenario_result, publish):
+    result = benchmark(fig5, scenario_result)
+    publish("fig05", result.render())
+    # Paper shape: ICMPv6 dominates overall (91.6%).
+    assert result.icmp_share > 0.7
+    # Internet Scanner ASes are the TCP-heavy outlier.
+    scanners = result.category(AsCategory.INTERNET_SCANNER)
+    assert scanners.dominant_protocol == "tcp"
+    # Hosting/cloud generates the most packets.
+    cloud = result.category(AsCategory.HOSTING_CLOUD)
+    re_stats = result.category(AsCategory.RESEARCH_EDUCATION)
+    assert cloud.packets > 0 and re_stats.packets > 0
+    assert cloud.dominant_protocol == "icmpv6"
+    # R&E probes by far the most unique destinations (95% in the paper).
+    assert result.re_dest_share > 0.4
+    assert (re_stats.unique_destinations_128
+            > cloud.unique_destinations_128)

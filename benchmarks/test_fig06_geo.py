@@ -1,0 +1,14 @@
+"""Figure 6: geographic distribution of scanner sources."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_geography(benchmark, scenario_result, publish):
+    result = benchmark(fig6, scenario_result)
+    publish("fig06", result.render())
+    # Paper shape: Germany leads on unique /128 sources because of the
+    # AlphaStrike-style /30 address spread; US and CN follow.
+    assert result.top_country == "DE"
+    top5 = sorted(result.by_country, key=result.by_country.get,
+                  reverse=True)[:5]
+    assert "US" in top5

@@ -1,0 +1,20 @@
+"""Figure 7: daily traffic-effect heatmap and trigger jumps."""
+
+import numpy as np
+
+from repro.experiments.effects import fig7
+
+
+def test_fig7_effect_heatmap(benchmark, scenario_result, publish):
+    result = benchmark.pedantic(fig7, args=(scenario_result,),
+                                rounds=1, iterations=1)
+    publish("fig07", result.render())
+    # Scanner attention rises immediately after each BGP announcement.
+    for i, name in enumerate(result.names):
+        row = result.matrix[i]
+        finite = row[np.isfinite(row)]
+        assert np.max(finite[:10]) > 0, name
+    # Each extra trigger (hitlist insertion, TLS issuance) multiplies the
+    # TPot's traffic (an order of magnitude in the paper).
+    assert result.trigger_jumps["hitlist"] > 1.5
+    assert result.trigger_jumps["tls"] > 1.5

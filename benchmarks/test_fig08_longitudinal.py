@@ -1,0 +1,16 @@
+"""Figure 8: ASN diversity stays flat while traffic decays."""
+
+from repro.experiments.effects import fig8
+
+
+def test_fig8_longitudinal_asn_vs_traffic(benchmark, scenario_result,
+                                          publish):
+    result = benchmark(fig8, scenario_result)
+    publish("fig08", result.render())
+    # Unique source-ASN counts remain comparatively stable after the
+    # initial burst (the paper's key Figure 8 observation)...
+    for name in result.names:
+        assert result.stability(name) > 0.25, name
+    # ...while traffic on the non-trigger prefixes converges to a lower
+    # stable value.
+    assert result.traffic_decay("H_Alias") < 1.5

@@ -1,0 +1,18 @@
+"""Figure 9: scanners stay within the announced /48 scope."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_scanner_scope(benchmark, scenario_result, publish):
+    result = benchmark(fig9, scenario_result)
+    publish("fig09", result.render())
+    # Paper shape: 95% of scanners probe <=2 /48s; 99.97% stay within the
+    # experiment's 27; one rare wide scanner roams the covering /32.
+    assert result.frac_2 > 0.6
+    assert result.frac_11 > 0.9
+    assert result.frac_27 > 0.99
+    # 98.4% of traffic goes to honeyprefixes; about half of the rest hits
+    # the first 16 /48s of the covering /32.
+    assert result.report.honeyprefix_traffic_share > 0.9
+    assert 0.2 < result.report.low_prefix_share_of_other < 0.9
+    assert result.report.wide_scanners >= 1

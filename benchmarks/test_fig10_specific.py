@@ -1,0 +1,20 @@
+"""Figure 10: hyper-specific honeyprefixes get bimodal, sporadic traffic."""
+
+import numpy as np
+
+from repro.experiments import fig10
+
+
+def test_fig10_hyper_specific_bimodality(benchmark, scenario_result,
+                                         publish):
+    result = benchmark(fig10, scenario_result)
+    publish("fig10", result.render())
+    packets = np.array(result.packets)
+    assert len(packets) == 16
+    # Paper shape: a low mode (75% of prefixes) and a high mode (>8x).
+    assert 0.4 <= result.low_mode_fraction <= 0.95
+    low = np.mean(sorted(packets)[: len(packets) // 2])
+    high = np.mean(sorted(packets)[-4:])
+    assert high > 3 * max(low, 1)
+    # No correlation between announced length and traffic.
+    assert result.length_correlation < 0.6

@@ -1,0 +1,22 @@
+"""Figure 11: scanning-tactic combinations per honeyprefix."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_tactic_combinations(benchmark, scenario_result, publish):
+    result = benchmark.pedantic(fig11, args=(scenario_result,),
+                                rounds=1, iterations=1)
+    publish("fig11", result.render())
+    # Paper findings encoded as shape assertions:
+    # (D) subdomains are only ever discovered via their TLS certificates.
+    assert result.subdomain_tls_coupling_holds()
+    # (C1) domain-bearing prefixes show domain-driven scanning.
+    assert (result.sources_using("H_Com", "D")
+            + result.sources_using("H_Com", "d")) > 0
+    # (B) the aliased prefixes attract many ICMP-only scanners.
+    assert result.sources_using("H_Alias", "I") > 0
+    # (E) manual hitlist insertion shows up on the TPots.
+    assert result.sources_using("H_TPot1", "H") > 0
+    assert result.sources_using("H_TPot2", "H") > 0
+    # (F) H_UDP's manually hitlisted address draws ICMP probing.
+    assert result.sources_using("H_UDP", "H") > 0

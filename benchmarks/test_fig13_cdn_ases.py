@@ -1,0 +1,10 @@
+"""Figure 13: the number of scanning ASes at the CDN grows steadily."""
+
+from repro.experiments import fig13
+
+
+def test_fig13_cdn_as_growth(benchmark, cdn_vantage, publish):
+    result = benchmark(fig13, cdn_vantage)
+    publish("fig13", result.render())
+    assert result.growth > 2
+    assert result.ases[-1] > result.ases[0]

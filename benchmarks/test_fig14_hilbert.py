@@ -1,0 +1,15 @@
+"""Figure 14: Hilbert map of the telescope's /32."""
+
+from repro.experiments import fig14
+
+
+def test_fig14_hilbert_map(benchmark, scenario_result, publish):
+    result = benchmark(fig14, scenario_result)
+    publish("fig14", result.render())
+    # All honeyprefixes sit in the upper half of the /32 (the ISP's ask).
+    assert result.upper_half_fraction == 1.0
+    assert result.grid.shape == (256, 256)
+    # Traffic concentrates in the honeyprefix cells.
+    honey_traffic = sum(result.grid[y, x]
+                        for x, y in result.honeyprefix_cells)
+    assert honey_traffic / result.grid.sum() > 0.9

@@ -1,0 +1,19 @@
+"""Footnote 1: scan-detection timeout sensitivity."""
+
+from repro.experiments import footnote1_timeout_sensitivity
+
+
+def test_footnote1_timeout_sensitivity(benchmark, scenario_result, publish):
+    result = benchmark.pedantic(
+        footnote1_timeout_sensitivity, args=(scenario_result,),
+        rounds=1, iterations=1,
+    )
+    publish("footnote1", result.render())
+    assert result.density_corrected
+    # Paper: detection rates decline by single-digit percentages under
+    # shorter thresholds (at full capture density).
+    assert result.relative_drop(1) < 0.10   # 1800 s
+    assert result.relative_drop(2) < 0.10   # 900 s
+    # Shorter timeouts can only split sessions, never invent sources.
+    assert result.source_counts[1] <= result.source_counts[0]
+    assert result.source_counts[2] <= result.source_counts[0]

@@ -1,0 +1,92 @@
+"""Library performance micro-benchmarks for the packet-path hot spots.
+
+Not paper figures — these guard the throughput of the components a
+downstream deployment would stress: the Twinklenet responder, the DNAT
+gateway, columnar aggregation, scan detection, and pcap serialization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.records import PacketRecords
+from repro.analysis.scandetect import detect_scans
+from repro.core.honeyprefix import HoneyprefixConfig, IcmpMode, deploy_addresses
+from repro.core.tpot import DnatGateway, TPOT1_CONTAINERS, TPotInstance
+from repro.core.twinklenet import Twinklenet, TwinklenetConfig
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import TcpFlags, icmp_echo_request, tcp_segment
+from repro.net.realpcap import serialize_frame
+
+PREFIX = IPv6Prefix.parse("2001:db8:77::/48")
+
+
+@pytest.fixture(scope="module")
+def ping_burst():
+    rng = np.random.default_rng(0)
+    return [
+        icmp_echo_request(
+            float(i),
+            0x2620_0000 << 96 | int(rng.integers(1 << 48)),
+            PREFIX.network | int(rng.integers(1 << 32)),
+        )
+        for i in range(5_000)
+    ]
+
+
+def test_twinklenet_throughput(benchmark, ping_burst):
+    config = HoneyprefixConfig(name="bench", aliased=True,
+                               icmp_mode=IcmpMode.FULL)
+    hp = deploy_addresses(config, PREFIX, rng=0)
+    pot = Twinklenet(TwinklenetConfig([hp]))
+
+    def drain():
+        for pkt in ping_burst:
+            pot.handle(pkt)
+
+    benchmark(drain)
+    assert pot.tx_count > 0
+
+
+def test_dnat_gateway_throughput(benchmark):
+    tpot = TPotInstance("bench", TPOT1_CONTAINERS)
+    gateway = DnatGateway(PREFIX, tpot)
+    rng = np.random.default_rng(1)
+    syns = [
+        tcp_segment(float(i), 0x2620_0000 << 96 | i,
+                    PREFIX.network | int(rng.integers(1 << 32)),
+                    4000 + (i % 1000), 22, TcpFlags.SYN)
+        for i in range(2_000)
+    ]
+
+    def drain():
+        for pkt in syns:
+            gateway.handle(pkt)
+
+    benchmark(drain)
+    assert gateway.nat_log
+
+
+def test_records_aggregation_throughput(benchmark, ping_burst):
+    records = PacketRecords.from_packets(ping_burst)
+
+    def aggregate():
+        return (records.unique_sources(64), records.unique_destinations(48))
+
+    u64, u48 = benchmark(aggregate)
+    assert u64 > 0 and u48 == 1
+
+
+def test_scan_detection_throughput(benchmark, ping_burst):
+    records = PacketRecords.from_packets(ping_burst)
+    events = benchmark(detect_scans, records, 48, 100, 3_600.0)
+    assert isinstance(events, list)
+
+
+def test_pcap_serialization_throughput(benchmark, ping_burst):
+    sample = ping_burst[:1_000]
+
+    def serialize():
+        return sum(len(serialize_frame(p)) for p in sample)
+
+    total = benchmark(serialize)
+    assert total > 0

@@ -1,0 +1,16 @@
+"""§5.1: telescope source overlap (Jaccard + shared-traffic shares)."""
+
+from repro.experiments import s51_overlap
+
+
+def test_s51_overlap(benchmark, scenario_result, publish):
+    result = benchmark(s51_overlap, scenario_result)
+    publish("s51_jaccard", result.render())
+    # Paper shape: source sets are highly distinct (avg JS ~0.1, max 0.2)...
+    assert result.average_jaccard < 0.3
+    assert result.max_jaccard < 0.5
+    # ...yet the few overlapping /64 sources carry most of the traffic
+    # (97.3% of NT-A's and 99.2% of NT-C's in the paper).
+    ac = result.reports["A-C"]
+    assert ac.shared_traffic_share_a > 0.5
+    assert ac.shared_traffic_share_b > 0.5

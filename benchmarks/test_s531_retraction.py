@@ -1,0 +1,11 @@
+"""§5.3.1: scanning dies quickly after a BGP retraction."""
+
+from repro.experiments import s531_retraction
+
+
+def test_s531_retraction(benchmark, scenario_result, publish):
+    result = benchmark(s531_retraction, scenario_result)
+    publish("s531", result.render())
+    assert result.packets_week_before > 0
+    # Paper: persistent scanning diminished to a negligible level.
+    assert result.suppression > 0.8

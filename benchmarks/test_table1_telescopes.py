@@ -1,0 +1,22 @@
+"""Table 1: per-telescope capture overview."""
+
+from repro.experiments import table1
+
+
+def test_table1_telescope_overview(benchmark, scenario_result, publish):
+    result = benchmark(table1, scenario_result)
+    publish("table1", result.render())
+    nta = result.row("NT-A")
+    ntb = result.row("NT-B")
+    ntc = result.row("NT-C")
+    # Paper shape: NT-A captures ~70% of everything, NT-C most of the rest,
+    # NT-B a sliver (its /48 is four orders of magnitude smaller).
+    total = nta.packets + ntb.packets + ntc.packets
+    assert nta.packets / total > 0.5
+    assert ntc.packets / total > 0.03
+    assert ntb.packets / total < 0.01
+    # Source diversity: NT-A sees the most ASes (1.9k vs 507 vs 60).
+    assert nta.source_asns > ntc.source_asns > ntb.source_asns
+    # Source aggregation hierarchy holds everywhere.
+    for row in result.rows:
+        assert row.sources_128 >= row.sources_64 >= row.sources_48

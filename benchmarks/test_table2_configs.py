@@ -1,0 +1,24 @@
+"""Table 2: honeyprefix configuration matrix."""
+
+from repro.core.features import Feature
+from repro.experiments import table2
+
+
+def test_table2_configurations(benchmark, publish):
+    result = benchmark(table2)
+    publish("table2", result.render())
+    assert result.count == 27
+    # Spot-check rows against the paper's matrix.
+    alias = result.by_name("H_Alias")
+    assert alias.aliased and not alias.domains
+    udp = result.by_name("H_UDP")
+    assert udp.udp_ports == (53, 123) and udp.hitlist_manual
+    orgnet = result.by_name("H_Org/net")
+    assert orgnet.domains == ("org", "net") and orgnet.subdomains
+    combined = result.by_name("H_Combined")
+    assert Feature.ICMP in combined.planned_features
+    assert Feature.TCP in combined.planned_features
+    assert Feature.UDP in combined.planned_features
+    assert Feature.DOMAIN in combined.planned_features
+    tcp = result.by_name("H_TCP")
+    assert tcp.announce_fails

@@ -1,0 +1,20 @@
+"""Table 3/8: top ASN sources of unsolicited traffic in NT-A."""
+
+from repro.experiments import table3
+
+
+def test_table3_top_asns(benchmark, scenario_result, publish):
+    result = benchmark(table3, scenario_result)
+    publish("table3", result.render())
+    rows = {r.name: r for r in result.rows}
+    # Paper shape: AMAZON-02 and CNGI-CERNET together carry ~80%.
+    top2 = [r.name for r in result.rows[:2]]
+    assert set(top2) == {"AMAZON-02", "CNGI-CERNET"}
+    assert result.top2_share > 0.55
+    # The signature contrast: comparable volume, wildly different source
+    # counts (44k /128s vs 46 in the paper).
+    amazon, cernet = rows["AMAZON-02"], rows["CNGI-CERNET"]
+    assert amazon.unique_128 > 20 * cernet.unique_128
+    # Clustering: Amazon's /128s collapse into few /64s (336 in the paper).
+    assert amazon.unique_128 > 3 * amazon.unique_64
+    assert cernet.unique_64 <= 4

@@ -1,0 +1,23 @@
+"""Table 5: T-Pot container/port matrix."""
+
+from repro.experiments import table5
+
+
+def test_table5_container_matrix(benchmark, publish):
+    result = benchmark(table5)
+    publish("table5", result.render())
+    # Paper's matrix: cowrie and redis only on TPot1; sentrypeer, conpot,
+    # elasticpot, dicompot only on TPot2; dionaea/ddospot/snare on both.
+    assert "cowrie" in result.tpot1_ports
+    assert "cowrie" not in result.tpot2_ports
+    assert "redishoneypot" in result.tpot1_ports
+    assert "sentrypeer" in result.tpot2_ports
+    assert "elasticpot" in result.tpot2_ports
+    assert "dicompot" in result.tpot2_ports
+    for shared in ("dionaea", "ddospot", "snare", "mailoney",
+                   "citrixhoneypot", "ciscoasa", "adbhoney"):
+        assert shared in result.tpot1_ports and shared in result.tpot2_ports
+    # Port spot checks.
+    assert result.tpot1_ports["cowrie"][0] == (22, 23)
+    assert 27017 in result.tpot1_ports["dionaea"][0]
+    assert 1900 in result.tpot1_ports["ddospot"][1]

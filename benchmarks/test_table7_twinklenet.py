@@ -1,0 +1,15 @@
+"""Table 7: Twinklenet protocol interactions, exercised live."""
+
+from repro.experiments import table7
+
+
+def test_table7_twinklenet_interactions(benchmark, publish):
+    result = benchmark(table7)
+    publish("table7", result.render())
+    i = result.interactions
+    assert i["ICMPv6 echo request"] == "ICMPv6 Echo reply"
+    assert i["any DNS query (UDP/53)"] == "DNS SERVFAIL"
+    assert i["any NTP client packet (UDP/123)"] == "NTP kiss-of-death (DENY)"
+    # Darknet semantics preserved for everything unbound.
+    assert i["TCP SYN to closed port"] == "(silence)"
+    assert i["ICMPv6 echo to dark address"] == "(silence)"

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Target-generation algorithm shootout against a live telescope.
+
+The paper's §2.2 surveys the TGA literature (6Gen/6Tree/Entropy-style
+generators) that its scanners run.  This example turns the tables: it
+deploys the telescope, hands each TGA the seed set a real scanner could
+have assembled from public data (domain AAAA targets, hitlist entries,
+aliased-prefix anchors), gives every algorithm the same probe budget
+against the telescope's responsiveness oracle, and compares them the way
+the evaluation literature does (hit rate, new discoveries, overlap).
+
+Run:  python examples/tga_shootout.py
+"""
+
+from repro.net.packet import ICMPV6
+from repro.scanners.tga_eval import evaluate_tgas
+from repro.sim import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        seed=5, duration_days=45, volume_scale=1e-4, n_tail=50,
+        phase1_day=5, phase2_day=8, phase3_day=11, specific_start_day=14,
+        tls_offset_days=7, tpot_hitlist_offset_days=10,
+        tpot_tls_offset_days=16, udp_hitlist_offset_days=4,
+        withdraw_after_days=100,
+    )
+    print("deploying the telescope ...")
+    result = run_scenario(config)
+    telescope = result.scenario.telescope
+
+    # The seed set a scanner plausibly holds after watching public data.
+    seeds: set[int] = set()
+    for hp in result.honeyprefixes.values():
+        seeds.update(hp.domain_targets.values())
+        seeds.update(list(hp.subdomain_targets.values())[:4])
+        seeds.update(list(hp.responsive)[:6])
+        seeds.update(hp.manual_hitlist_addresses)
+        if hp.config.aliased:
+            seeds.update(hp.prefix.network | (i << 64) | 1
+                         for i in range(8))
+    print(f"seed set: {len(seeds)} addresses")
+
+    at = result.end - 1.0
+
+    def oracle(address, _at):
+        return telescope.responds(address, ICMPV6, None, at)
+
+    evaluation = evaluate_tgas(sorted(seeds), oracle, budget=2_000, rng=7)
+    print()
+    print(evaluation.render())
+    print()
+    best = max(evaluation.scores, key=lambda s: s.hit_rate)
+    print(f"winner: {best.name} at {best.hit_rate:.1%} hit rate — "
+          "feedback-driven descent dominates when aliased prefixes answer "
+          "everything, exactly why the paper's hitlist segregates aliased "
+          "space.")
+
+
+if __name__ == "__main__":
+    main()

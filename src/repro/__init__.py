@@ -1,0 +1,21 @@
+"""repro — reproduction of "Unveiling IPv6 Scanning Dynamics" (CoNEXT 2025).
+
+Top-level convenience surface.  The subpackages are the real API:
+
+* :mod:`repro.core` — proactive/passive telescopes (the paper's system),
+* :mod:`repro.net`, :mod:`repro.routing`, :mod:`repro.dns`,
+  :mod:`repro.tlsca`, :mod:`repro.hitlist`, :mod:`repro.datasets` — the
+  substrates the telescope plugs into,
+* :mod:`repro.scanners` — the synthetic scanner ecosystem,
+* :mod:`repro.analysis` — the measurement pipeline (flows, scan detection,
+  BSTM causal impact, scope/tactic/geo analyses),
+* :mod:`repro.sim` — the event engine, fabric, paper scenario, CDN model,
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from repro.sim import ScenarioConfig, run_scenario
+from repro.experiments import EXPERIMENTS
+
+__version__ = "1.0.0"
+
+__all__ = ["ScenarioConfig", "run_scenario", "EXPERIMENTS", "__version__"]

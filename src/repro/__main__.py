@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show the available experiments,
+* ``run`` — run the full scenario and print the headline tables,
+* ``experiment <id> [...]`` — regenerate specific tables/figures.
+
+Options shared by ``run``/``experiment``: ``--days``, ``--scale``,
+``--seed``, ``--tail``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS
+from repro.sim import ScenarioConfig, run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Unveiling IPv6 Scanning Dynamics'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--days", type=int, default=100,
+                       help="simulated days (default 100)")
+        p.add_argument("--scale", type=float, default=2e-4,
+                       help="volume scale vs. the paper (default 2e-4)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--tail", type=int, default=140,
+                       help="number of long-tail scanner ASes")
+
+    run_p = sub.add_parser("run", help="run the scenario, print headlines")
+    add_scenario_args(run_p)
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate specific tables/figures")
+    exp_p.add_argument("ids", nargs="+", metavar="ID",
+                       help="experiment ids (see 'list'), or 'all'")
+    exp_p.add_argument("--output", default=None,
+                       help="also write the combined report to this file")
+    add_scenario_args(exp_p)
+    return parser
+
+
+def _scenario(args) -> object:
+    config = ScenarioConfig(
+        seed=args.seed, duration_days=args.days,
+        volume_scale=args.scale, n_tail=args.tail,
+    )
+    print(f"running scenario: {args.days} days, scale {args.scale}, "
+          f"seed {args.seed} ...", file=sys.stderr)
+    return run_scenario(config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for key, (fn, needs_result) in EXPERIMENTS.items():
+            source = "scenario" if needs_result else "standalone"
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {key:8s} [{source:10s}] {doc}")
+        return 0
+
+    if args.command == "run":
+        result = _scenario(args)
+        for key in ("table1", "table3", "fig5", "fig9", "table4"):
+            fn, _ = EXPERIMENTS[key]
+            print()
+            print(fn(result).render())
+        return 0
+
+    # experiment
+    ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"known: {sorted(EXPERIMENTS)} (or 'all')", file=sys.stderr)
+        return 2
+    result = None
+    if any(EXPERIMENTS[i][1] for i in ids):
+        result = _scenario(args)
+    from repro.experiments.report import run_all
+
+    print(run_all(result, experiment_ids=ids, output_path=args.output))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""IPv6 address-structure analysis.
+
+Classifies interface identifiers (IIDs, the low 64 bits) into the
+categories the hitlist literature uses (Gasser et al.'s "Clusters in the
+Expanse"): low-byte addresses, embedded-IPv4, EUI-64 (MAC-derived),
+embedded-port, and pseudorandom (privacy) addresses.  The telescope side
+uses this to characterize *what kind of targets* scanners generate — a
+low-byte-heavy mix betrays hitlist/::1-style targeting, a random-heavy mix
+betrays TGA exploration.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+class IidClass(enum.Enum):
+    """Interface-identifier structural classes."""
+
+    LOW_BYTE = "low_byte"          # ::1, ::2, ... (machine-assigned)
+    EMBEDDED_IPV4 = "embedded_ipv4"
+    EUI64 = "eui64"                # ff:fe in the middle (MAC-derived)
+    EMBEDDED_PORT = "embedded_port"  # ::443, ::80 style service hints
+    PATTERN_BYTES = "pattern_bytes"  # repeated/structured nibbles
+    RANDOM = "random"              # pseudorandom (privacy addresses)
+
+
+#: Common service ports that show up as vanity IIDs.
+_SERVICE_PORTS = {21, 22, 25, 53, 80, 110, 123, 143, 443, 587, 993, 995,
+                  3306, 5060, 8080, 8443}
+
+
+def classify_iid(address: int) -> IidClass:
+    """Classify the IID (low 64 bits) of one address."""
+    iid = address & 0xFFFFFFFFFFFFFFFF
+    if iid < (1 << 16):
+        # Vanity port IIDs are written so the *hex digits* read as the
+        # decimal port (2001:db8::443 serves HTTPS), so check both the
+        # raw value and the digits-as-decimal reading.
+        if iid in _SERVICE_PORTS:
+            return IidClass.EMBEDDED_PORT
+        digits = f"{iid:x}"
+        if digits.isdigit() and int(digits) in _SERVICE_PORTS:
+            return IidClass.EMBEDDED_PORT
+        return IidClass.LOW_BYTE
+    # EUI-64: 0xfffe in bytes 3-4 of the IID.
+    if (iid >> 24) & 0xFFFF == 0xFFFE:
+        return IidClass.EUI64
+    # Embedded IPv4: hex digits that read as dotted-quad nibble groups —
+    # heuristic: top 32 bits zero, bottom 32 bits look like an IPv4 in hex
+    # (each byte <= 255 trivially true) with a plausible first octet.
+    if iid >> 32 == 0 and iid > (1 << 16):
+        first_octet = (iid >> 24) & 0xFF
+        if first_octet != 0:
+            return IidClass.EMBEDDED_IPV4
+    # Structured nibbles: low entropy over the 16 IID nibbles.
+    nibbles = [(iid >> shift) & 0xF for shift in range(0, 64, 4)]
+    counts = Counter(nibbles)
+    entropy = -sum(
+        (c / 16) * math.log2(c / 16) for c in counts.values()
+    )
+    if entropy < 2.0:
+        return IidClass.PATTERN_BYTES
+    return IidClass.RANDOM
+
+
+@dataclass(frozen=True)
+class AddressProfile:
+    """Structural profile of a set of addresses."""
+
+    total: int
+    class_counts: dict[IidClass, int]
+    #: Mean per-nibble entropy over the IID (bits, 0..4).
+    mean_iid_entropy: float
+
+    def share(self, iid_class: IidClass) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.class_counts.get(iid_class, 0) / self.total
+
+    @property
+    def dominant(self) -> IidClass:
+        if not self.class_counts:
+            return IidClass.RANDOM
+        return max(self.class_counts, key=self.class_counts.get)
+
+    def render(self) -> str:
+        lines = [f"address-structure profile ({self.total} addresses, "
+                 f"mean IID nibble entropy {self.mean_iid_entropy:.2f} bits)"]
+        for iid_class, count in sorted(self.class_counts.items(),
+                                       key=lambda kv: -kv[1]):
+            lines.append(f"  {iid_class.value:15s} {count:8d} "
+                         f"({count / self.total:6.1%})")
+        return "\n".join(lines)
+
+
+def profile_addresses(addresses: Iterable[int]) -> AddressProfile:
+    """Build the structural profile of an address set."""
+    counts: Counter = Counter()
+    entropies = []
+    total = 0
+    for address in addresses:
+        total += 1
+        counts[classify_iid(address)] += 1
+        iid = address & 0xFFFFFFFFFFFFFFFF
+        nibbles = np.array([(iid >> shift) & 0xF
+                            for shift in range(0, 64, 4)])
+        _, nibble_counts = np.unique(nibbles, return_counts=True)
+        p = nibble_counts / 16
+        entropies.append(float(-(p * np.log2(p)).sum()))
+    return AddressProfile(
+        total=total,
+        class_counts=dict(counts),
+        mean_iid_entropy=float(np.mean(entropies)) if entropies else 0.0,
+    )
+
+
+def nibble_entropy_profile(addresses: list[int]) -> np.ndarray:
+    """Per-position nibble entropy across an address *set* (32 values).
+
+    The entropy fingerprint the clustering TGAs operate on: positions
+    where all addresses agree contribute 0 bits, fully mixed positions
+    contribute 4.
+    """
+    if not addresses:
+        return np.zeros(32)
+    columns = np.zeros((len(addresses), 32), dtype=np.int8)
+    for i, address in enumerate(addresses):
+        for pos in range(32):
+            columns[i, pos] = (address >> (124 - 4 * pos)) & 0xF
+    out = np.zeros(32)
+    n = len(addresses)
+    for pos in range(32):
+        _, counts = np.unique(columns[:, pos], return_counts=True)
+        p = counts / n
+        out[pos] = float(-(p * np.log2(p)).sum())
+    return out

@@ -1,0 +1,188 @@
+"""Metadata joins: source IP -> ASN, AS type, country; source breakdowns.
+
+Implements the paper's §4.4/§5.2 processing: map each source to its origin
+AS (RouteViews prefix2as), classify the AS (ASdb, with the paper's manual
+overrides applied upstream), geolocate (IPinfo), and produce the Table 3/8
+top-ASN rows, the Fig. 5 per-category protocol/source/destination
+breakdown, and the Fig. 6 per-country source counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.records import PacketRecords
+from repro.datasets.asdb import AsCategory, AsDatabase
+from repro.datasets.geodb import GeoDatabase
+from repro.datasets.prefix2as import Prefix2As
+from repro.net.packet import ICMPV6, TCP, UDP
+
+
+@dataclass(frozen=True, slots=True)
+class AsnRow:
+    """One Table 3/8 row."""
+
+    asn: int
+    name: str
+    packets: int
+    share: float
+    unique_128: int
+    unique_64: int
+    unique_48: int
+
+
+@dataclass
+class CategoryStats:
+    """Fig. 5 statistics for one AS category."""
+
+    category: AsCategory
+    packets: int = 0
+    packets_icmp: int = 0
+    packets_tcp: int = 0
+    packets_udp: int = 0
+    unique_sources_128: int = 0
+    unique_destinations_128: int = 0
+
+    @property
+    def dominant_protocol(self) -> str:
+        best = max(
+            (self.packets_icmp, "icmpv6"),
+            (self.packets_tcp, "tcp"),
+            (self.packets_udp, "udp"),
+        )
+        return best[1]
+
+
+@dataclass
+class SourceBreakdown:
+    """The full §5.2 source characterization."""
+
+    total_packets: int
+    total_sources_128: int
+    total_asns: int
+    top_asns: list[AsnRow]
+    by_category: dict[AsCategory, CategoryStats]
+    by_country: dict[str, int]
+    protocol_shares: dict[str, float]
+
+
+class MetadataJoiner:
+    """Joins packet records against the metadata datasets."""
+
+    def __init__(self, prefix2as: Prefix2As, asdb: AsDatabase,
+                 geodb: GeoDatabase | None = None):
+        self.prefix2as = prefix2as
+        self.asdb = asdb
+        self.geodb = geodb
+        self._asn_cache: dict[int, int] = {}
+        self._country_cache: dict[int, str | None] = {}
+
+    def asn_of(self, address: int, at: float | None = None) -> int:
+        """Origin ASN for a source address (0 when unmapped)."""
+        cached = self._asn_cache.get(address)
+        if cached is None:
+            cached = self.prefix2as.lookup(address, at=at) or 0
+            self._asn_cache[address] = cached
+        return cached
+
+    def country_of(self, address: int, at: float | None = None) -> str | None:
+        if self.geodb is None:
+            return None
+        if address not in self._country_cache:
+            self._country_cache[address] = self.geodb.lookup(address, at=at)
+        return self._country_cache[address]
+
+    def row_asns(self, records: PacketRecords) -> np.ndarray:
+        """Per-row source ASN array."""
+        out = np.zeros(len(records), dtype=np.int64)
+        for i, src in enumerate(records.src_addresses()):
+            out[i] = self.asn_of(src)
+        return out
+
+    # -- Table 3 / Table 8 -------------------------------------------------
+
+    def top_asns(self, records: PacketRecords, n: int = 20) -> list[AsnRow]:
+        """The top-``n`` source ASNs by packet count."""
+        if len(records) == 0:
+            return []
+        asns = self.row_asns(records)
+        total = len(records)
+        rows: list[AsnRow] = []
+        unique_asns, counts = np.unique(asns, return_counts=True)
+        order = np.argsort(counts)[::-1]
+        for idx in order[:n]:
+            asn = int(unique_asns[idx])
+            sub = records.select(asns == asn)
+            rows.append(AsnRow(
+                asn=asn,
+                name=self.asdb.name(asn),
+                packets=int(counts[idx]),
+                share=float(counts[idx]) / total,
+                unique_128=sub.unique_sources(128),
+                unique_64=sub.unique_sources(64),
+                unique_48=sub.unique_sources(48),
+            ))
+        return rows
+
+    # -- Fig. 5 ---------------------------------------------------------------
+
+    def category_breakdown(
+        self, records: PacketRecords
+    ) -> dict[AsCategory, CategoryStats]:
+        """Per-AS-category protocol/source/destination statistics."""
+        asns = self.row_asns(records)
+        categories = {
+            asn: self.asdb.classify(int(asn)) for asn in np.unique(asns)
+        }
+        out: dict[AsCategory, CategoryStats] = {}
+        for asn, category in categories.items():
+            stats = out.setdefault(category, CategoryStats(category=category))
+            sub = records.select(asns == asn)
+            stats.packets += len(sub)
+            stats.packets_icmp += int(np.sum(sub.proto == np.uint8(ICMPV6)))
+            stats.packets_tcp += int(np.sum(sub.proto == np.uint8(TCP)))
+            stats.packets_udp += int(np.sum(sub.proto == np.uint8(UDP)))
+        # Unique counts need set semantics across the category's ASNs.
+        for category, stats in out.items():
+            cat_asns = [a for a, c in categories.items() if c is category]
+            mask = np.isin(asns, cat_asns)
+            sub = records.select(mask)
+            stats.unique_sources_128 = sub.unique_sources(128)
+            stats.unique_destinations_128 = sub.unique_destinations(128)
+        return out
+
+    # -- Fig. 6 ---------------------------------------------------------------
+
+    def country_breakdown(self, records: PacketRecords) -> dict[str, int]:
+        """Unique /128 sources per country."""
+        countries: dict[str, set[int]] = {}
+        for src in records.source_set(128):
+            country = self.country_of(src)
+            if country is not None:
+                countries.setdefault(country, set()).add(src)
+        return {c: len(s) for c, s in countries.items()}
+
+    # -- combined -------------------------------------------------------------
+
+    def breakdown(self, records: PacketRecords, top_n: int = 20) -> SourceBreakdown:
+        """The full §5.2 characterization in one pass."""
+        total = len(records)
+        protocol_shares = {}
+        if total:
+            protocol_shares = {
+                "icmpv6": float(np.sum(records.proto == np.uint8(ICMPV6))) / total,
+                "tcp": float(np.sum(records.proto == np.uint8(TCP))) / total,
+                "udp": float(np.sum(records.proto == np.uint8(UDP))) / total,
+            }
+        asns = self.row_asns(records)
+        return SourceBreakdown(
+            total_packets=total,
+            total_sources_128=records.unique_sources(128),
+            total_asns=len(np.unique(asns[asns > 0])),
+            top_asns=self.top_asns(records, n=top_n),
+            by_category=self.category_breakdown(records),
+            by_country=self.country_breakdown(records),
+            protocol_shares=protocol_shares,
+        )

@@ -1,0 +1,159 @@
+"""Scan-campaign clustering.
+
+Scan events (§ ``scandetect``) are per-source probing sessions; real-world
+analyses group them into *campaigns*: one scanning operation possibly
+spanning many sessions, days, and honeyprefixes.  A campaign here is a
+maximal set of scan events from the same aggregated source whose active
+windows lie within ``max_gap`` of each other, annotated with a strategy
+fingerprint: protocol mix, targeting style (low-address vs. spread), and
+the /48 footprint.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import DAY, check_positive
+from repro.analysis.records import PacketRecords
+from repro.analysis.scandetect import ScanEvent, detect_scans
+from repro.net.packet import ICMPV6, TCP, UDP
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One clustered scanning operation."""
+
+    source: int
+    source_length: int
+    start: float
+    end: float
+    sessions: int
+    packets: int
+    unique_targets: int
+    prefixes_48: int
+    protocol_mix: dict[str, float]
+    #: Fraction of probes aimed at low host addresses (< 2^16 offset in
+    #: their /64) — the "::1-style" targeting signature.
+    low_address_fraction: float
+
+    @property
+    def duration_days(self) -> float:
+        return (self.end - self.start) / DAY
+
+    @property
+    def dominant_protocol(self) -> str:
+        return max(self.protocol_mix, key=self.protocol_mix.get)
+
+    @property
+    def targeting_style(self) -> str:
+        """Coarse strategy label: liveness sweep vs. exploration."""
+        if self.low_address_fraction > 0.6:
+            return "low-address sweep"
+        if self.unique_targets > 0.8 * self.packets:
+            return "exploration (TGA-like)"
+        return "mixed"
+
+
+def _fingerprint(records: PacketRecords, source: int,
+                 source_length: int) -> tuple[dict[str, float], float, int]:
+    """Protocol mix, low-address fraction, and /48 footprint of a source."""
+    shift = 128 - source_length
+    mask = np.fromiter(
+        (((s >> shift) << shift if shift else s) == source
+         for s in records.src_addresses()),
+        dtype=bool, count=len(records),
+    )
+    sub = records.select(mask)
+    n = len(sub)
+    if n == 0:
+        return {"icmpv6": 0.0, "tcp": 0.0, "udp": 0.0}, 0.0, 0
+    mix = {
+        "icmpv6": float((sub.proto == np.uint8(ICMPV6)).sum()) / n,
+        "tcp": float((sub.proto == np.uint8(TCP)).sum()) / n,
+        "udp": float((sub.proto == np.uint8(UDP)).sum()) / n,
+    }
+    low = 0
+    nets = set()
+    for dst in sub.dst_addresses():
+        if dst & 0xFFFFFFFFFFFFFFFF < (1 << 16):
+            low += 1
+        nets.add((dst >> 80) << 80)
+    return mix, low / n, len(nets)
+
+
+def cluster_campaigns(
+    records: PacketRecords,
+    source_length: int = 48,
+    max_gap: float = 3 * DAY,
+    min_targets: int = 100,
+    timeout: float = 3_600.0,
+) -> list[Campaign]:
+    """Cluster scan events into campaigns.
+
+    Events from the same /``source_length`` source merge when the gap
+    between one event's end and the next one's start is at most
+    ``max_gap``.
+    """
+    check_positive("max_gap", max_gap)
+    events = detect_scans(records, source_length=source_length,
+                          min_targets=min_targets, timeout=timeout)
+    by_source: dict[int, list[ScanEvent]] = {}
+    for event in events:
+        by_source.setdefault(event.source, []).append(event)
+
+    campaigns: list[Campaign] = []
+    for source, source_events in by_source.items():
+        source_events.sort(key=lambda e: e.start)
+        cluster: list[ScanEvent] = []
+        mix, low_fraction, prefixes = _fingerprint(
+            records, source, source_length
+        )
+
+        def _flush() -> None:
+            if not cluster:
+                return
+            campaigns.append(Campaign(
+                source=source,
+                source_length=source_length,
+                start=cluster[0].start,
+                end=max(e.end for e in cluster),
+                sessions=len(cluster),
+                packets=sum(e.packets for e in cluster),
+                unique_targets=sum(e.unique_targets for e in cluster),
+                prefixes_48=prefixes,
+                protocol_mix=mix,
+                low_address_fraction=low_fraction,
+            ))
+
+        for event in source_events:
+            if cluster and event.start - max(e.end for e in cluster) > max_gap:
+                _flush()
+                cluster = []
+            cluster.append(event)
+        _flush()
+    campaigns.sort(key=lambda c: -c.packets)
+    return campaigns
+
+
+def campaign_summary(campaigns: list[Campaign], max_rows: int = 10) -> str:
+    """Human-readable campaign table."""
+    lines = [f"scan campaigns ({len(campaigns)} total)"]
+    lines.append(f"  {'style':22s} {'proto':7s} {'days':>5s} "
+                 f"{'sessions':>8s} {'packets':>8s} {'targets':>8s} "
+                 f"{'/48s':>5s}")
+    for campaign in campaigns[:max_rows]:
+        lines.append(
+            f"  {campaign.targeting_style:22s} "
+            f"{campaign.dominant_protocol:7s} "
+            f"{campaign.duration_days:5.1f} {campaign.sessions:8d} "
+            f"{campaign.packets:8d} {campaign.unique_targets:8d} "
+            f"{campaign.prefixes_48:5d}"
+        )
+    styles = Counter(c.targeting_style for c in campaigns)
+    lines.append("  styles: " + ", ".join(
+        f"{style}={count}" for style, count in styles.most_common()
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Telescope source-overlap analysis (§5.1).
+
+Jaccard similarity of scan-source sets between telescopes, at the paper's
+three aggregation levels (/32, /64, /128), plus the traffic-share analysis:
+what fraction of each telescope's traffic the *overlapping* sources account
+for (small at /128, dominant at /64).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.records import PacketRecords
+
+#: The aggregation levels used in §5.1.
+DEFAULT_LEVELS = (32, 64, 128)
+
+
+def jaccard_similarity(a: set, b: set) -> float:
+    """Plain Jaccard similarity of two sets (0 when both are empty)."""
+    if not a and not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapReport:
+    """Pairwise overlap between two telescopes at one aggregation level."""
+
+    name_a: str
+    name_b: str
+    prefix_length: int
+    jaccard: float
+    #: Fraction of telescope A's packets sent by sources seen at both.
+    shared_traffic_share_a: float
+    #: Fraction of telescope B's packets sent by sources seen at both.
+    shared_traffic_share_b: float
+    #: Fraction of A's unique /128 destinations probed by shared sources.
+    shared_dest_share_a: float
+
+
+def _traffic_share(records: PacketRecords, shared: set[int],
+                   prefix_length: int) -> float:
+    if len(records) == 0 or not shared:
+        return 0.0
+    shift = 128 - prefix_length
+    count = 0
+    for src in records.src_addresses():
+        truncated = (src >> shift) << shift if shift else src
+        if truncated in shared:
+            count += 1
+    return count / len(records)
+
+
+def _dest_share(records: PacketRecords, shared: set[int],
+                prefix_length: int) -> float:
+    if len(records) == 0 or not shared:
+        return 0.0
+    shift = 128 - prefix_length
+    shared_dests: set[int] = set()
+    all_dests: set[int] = set()
+    src_iter = records.src_addresses()
+    for dst in records.dst_addresses():
+        src = next(src_iter)
+        truncated = (src >> shift) << shift if shift else src
+        all_dests.add(dst)
+        if truncated in shared:
+            shared_dests.add(dst)
+    return len(shared_dests) / len(all_dests) if all_dests else 0.0
+
+
+def overlap_report(
+    name_a: str,
+    records_a: PacketRecords,
+    name_b: str,
+    records_b: PacketRecords,
+    prefix_length: int = 64,
+) -> OverlapReport:
+    """Compute the §5.1 overlap metrics for one telescope pair."""
+    sources_a = records_a.source_set(prefix_length)
+    sources_b = records_b.source_set(prefix_length)
+    shared = sources_a & sources_b
+    return OverlapReport(
+        name_a=name_a,
+        name_b=name_b,
+        prefix_length=prefix_length,
+        jaccard=jaccard_similarity(sources_a, sources_b),
+        shared_traffic_share_a=_traffic_share(records_a, shared, prefix_length),
+        shared_traffic_share_b=_traffic_share(records_b, shared, prefix_length),
+        shared_dest_share_a=_dest_share(records_a, shared, prefix_length),
+    )
+
+
+def jaccard_matrix(
+    telescopes: dict[str, PacketRecords],
+    levels: tuple[int, ...] = DEFAULT_LEVELS,
+) -> dict[tuple[str, str, int], float]:
+    """All pairwise Jaccard similarities at every aggregation level."""
+    names = sorted(telescopes)
+    out: dict[tuple[str, str, int], float] = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            for level in levels:
+                out[(a, b, level)] = jaccard_similarity(
+                    telescopes[a].source_set(level),
+                    telescopes[b].source_set(level),
+                )
+    return out

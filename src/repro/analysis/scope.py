@@ -1,0 +1,97 @@
+"""Scanner-scope analysis (§5.3.2, Figure 9).
+
+How many /48 prefixes does each scanner probe?  The paper found scanners
+confine themselves to announced honeyprefixes: 95% probed <= 2 /48s, 99.92%
+fewer than 11, and non-honeyprefix traffic was only 1.6% of the total, half
+of it aimed at the first 16 /48s of the covering /32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.records import PacketRecords
+from repro.net.addr import IPv6Prefix
+
+
+@dataclass(frozen=True)
+class ScopeReport:
+    """Figure 9's statistics."""
+
+    #: sorted array: number of /48s probed, one entry per scanner source.
+    prefixes_per_scanner: np.ndarray
+    #: fraction of packets destined to any honeyprefix.
+    honeyprefix_traffic_share: float
+    #: fraction of non-honeyprefix packets aimed at the first 16 /48s.
+    low_prefix_share_of_other: float
+    #: number of scanner sources exceeding ``wide_threshold`` /48s.
+    wide_scanners: int
+
+    def fraction_at_most(self, k: int) -> float:
+        """Fraction of scanners probing at most ``k`` /48 prefixes."""
+        if len(self.prefixes_per_scanner) == 0:
+            return 0.0
+        return float(np.mean(self.prefixes_per_scanner <= k))
+
+    def cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) suitable for plotting Figure 9."""
+        x = np.sort(self.prefixes_per_scanner)
+        f = np.arange(1, len(x) + 1) / len(x)
+        return x, f
+
+
+def scanner_scope(
+    records: PacketRecords,
+    covering_prefix: IPv6Prefix,
+    honeyprefixes: list[IPv6Prefix],
+    source_length: int = 128,
+    wide_threshold: int = 27,
+) -> ScopeReport:
+    """Compute the Figure 9 scope statistics.
+
+    ``wide_threshold`` defaults to the paper's 27 deployed honeyprefixes;
+    sources probing more /48s than that are "wide scanners" roaming outside
+    the experiment's scope.
+    """
+    if len(records) == 0:
+        return ScopeReport(
+            prefixes_per_scanner=np.zeros(0, dtype=np.int64),
+            honeyprefix_traffic_share=0.0,
+            low_prefix_share_of_other=0.0,
+            wide_scanners=0,
+        )
+    shift_src = 128 - source_length
+    per_scanner: dict[int, set[int]] = {}
+    honey_nets = {hp.supernet(48).network if hp.length > 48 else hp.network
+                  for hp in honeyprefixes}
+    first16 = {covering_prefix.subnet_at(i, 48).network for i in range(16)}
+
+    honey_packets = 0
+    other_packets = 0
+    other_low = 0
+    src_iter = records.src_addresses()
+    for dst in records.dst_addresses():
+        src = next(src_iter)
+        source = (src >> shift_src) << shift_src if shift_src else src
+        dst48 = (dst >> 80) << 80
+        per_scanner.setdefault(source, set()).add(dst48)
+        if dst48 in honey_nets:
+            honey_packets += 1
+        else:
+            other_packets += 1
+            if dst48 in first16:
+                other_low += 1
+
+    counts = np.array(sorted(len(s) for s in per_scanner.values()),
+                      dtype=np.int64)
+    total = honey_packets + other_packets
+    return ScopeReport(
+        prefixes_per_scanner=counts,
+        honeyprefix_traffic_share=honey_packets / total if total else 0.0,
+        low_prefix_share_of_other=(
+            other_low / other_packets if other_packets else 0.0
+        ),
+        wide_scanners=int(np.sum(counts > wide_threshold)),
+    )

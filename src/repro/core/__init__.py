@@ -1,0 +1,46 @@
+"""The paper's primary contribution: proactive and passive IPv6 telescopes.
+
+* :mod:`repro.core.features` — the attraction/reaction feature vocabulary
+  (Table 2's column headers and §5.4's letter codes).
+* :mod:`repro.core.honeyprefix` — honeyprefix configurations and the
+  canonical 27-prefix deployment of Table 2.
+* :mod:`repro.core.twinklenet` — the low-interaction multi-protocol
+  IP-aliasing honeypot (Table 7 semantics).
+* :mod:`repro.core.tpot` — the high-interaction honeypot stack: T-Pot
+  containers (Table 5), DNAT gateway, 6-to-4 reverse proxy.
+* :mod:`repro.core.darknet` — passive darknet telescopes.
+* :mod:`repro.core.capture` — packet capture into analysis-ready records.
+* :mod:`repro.core.proactive` — the orchestrator wiring BGP, DNS, TLS,
+  hitlist, honeypots, and capture together.
+"""
+
+from repro.core.features import Feature, FEATURE_CODES
+from repro.core.honeyprefix import (
+    Honeyprefix,
+    HoneyprefixConfig,
+    IcmpMode,
+    standard_configs,
+)
+from repro.core.twinklenet import Twinklenet, TwinklenetConfig
+from repro.core.tpot import TPotInstance, DnatGateway, TPOT1_CONTAINERS, TPOT2_CONTAINERS
+from repro.core.darknet import DarknetTelescope
+from repro.core.capture import PacketCapturer
+from repro.core.proactive import ProactiveTelescope
+
+__all__ = [
+    "Feature",
+    "FEATURE_CODES",
+    "Honeyprefix",
+    "HoneyprefixConfig",
+    "IcmpMode",
+    "standard_configs",
+    "Twinklenet",
+    "TwinklenetConfig",
+    "TPotInstance",
+    "DnatGateway",
+    "TPOT1_CONTAINERS",
+    "TPOT2_CONTAINERS",
+    "DarknetTelescope",
+    "PacketCapturer",
+    "ProactiveTelescope",
+]

@@ -1,0 +1,67 @@
+"""Packet capture into analysis-ready columnar records.
+
+``PacketCapturer`` is the telescope's packet-capture stage: it appends each
+packet's analysis-relevant fields to growing column buffers (timestamps,
+src/dst split into uint64 halves, protocol, ports) and can simultaneously
+mirror full packets to a capture file.  ``to_records()`` freezes the buffers
+into :class:`repro.analysis.records.PacketRecords` for the pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.net.packet import Packet
+from repro.net.pcapstore import PacketWriter
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+class PacketCapturer:
+    """Columnar packet capture with optional file mirroring."""
+
+    def __init__(self, name: str = "capture",
+                 mirror_path: str | os.PathLike | None = None):
+        self.name = name
+        self._ts: list[float] = []
+        self._src_hi: list[int] = []
+        self._src_lo: list[int] = []
+        self._dst_hi: list[int] = []
+        self._dst_lo: list[int] = []
+        self._proto: list[int] = []
+        self._sport: list[int] = []
+        self._dport: list[int] = []
+        self._writer = PacketWriter(mirror_path) if mirror_path else None
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def capture(self, pkt: Packet) -> None:
+        """Record one packet."""
+        self._ts.append(pkt.timestamp)
+        self._src_hi.append((pkt.src >> 64) & _U64)
+        self._src_lo.append(pkt.src & _U64)
+        self._dst_hi.append((pkt.dst >> 64) & _U64)
+        self._dst_lo.append(pkt.dst & _U64)
+        self._proto.append(pkt.proto)
+        self._sport.append(pkt.sport)
+        self._dport.append(pkt.dport)
+        if self._writer is not None:
+            self._writer.write(pkt)
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def to_records(self):
+        """Freeze into :class:`repro.analysis.records.PacketRecords`."""
+        # Imported here to keep core importable without the analysis stack.
+        from repro.analysis.records import PacketRecords
+
+        return PacketRecords.from_columns(
+            ts=self._ts,
+            src_hi=self._src_hi, src_lo=self._src_lo,
+            dst_hi=self._dst_hi, dst_lo=self._dst_lo,
+            proto=self._proto, sport=self._sport, dport=self._dport,
+        )

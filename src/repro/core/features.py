@@ -1,0 +1,78 @@
+"""Attraction/reaction feature vocabulary.
+
+The paper denotes features with letter codes in §5.4/Figure 11:
+
+====  ==========================================================
+code  feature
+====  ==========================================================
+B     BGP announcement (the baseline trigger for every honeyprefix)
+A     IP aliasing (entire prefix responsive)
+I     ICMP responsiveness (individual IPs or aliased prefixes)
+T     TCP open ports
+U     UDP open ports
+D     domain name (root AAAA record)
+S     subdomain names (eTLD+2 AAAA records)
+d     TLS certificate for the root domain
+s     TLS certificates for subdomains
+H     IPv6 hitlist inclusion
+O     probes to non-responsive protocols/ports/addresses
+====  ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Feature(enum.Enum):
+    """One attraction or reaction feature."""
+
+    BGP = "bgp"
+    ALIASED = "aliased"
+    ICMP = "icmp"
+    TCP = "tcp"
+    UDP = "udp"
+    DOMAIN = "domain"
+    SUBDOMAIN = "subdomain"
+    TLS_ROOT = "tls_root"
+    TLS_SUB = "tls_sub"
+    HITLIST = "hitlist"
+    OTHER = "other"
+
+
+#: Paper letter codes for rendering Figure 11-style labels.
+FEATURE_CODES: dict[Feature, str] = {
+    Feature.BGP: "B",
+    Feature.ALIASED: "A",
+    Feature.ICMP: "I",
+    Feature.TCP: "T",
+    Feature.UDP: "U",
+    Feature.DOMAIN: "D",
+    Feature.SUBDOMAIN: "S",
+    Feature.TLS_ROOT: "d",
+    Feature.TLS_SUB: "s",
+    Feature.HITLIST: "H",
+    Feature.OTHER: "O",
+}
+
+
+def combo_label(features: frozenset[Feature] | set[Feature]) -> str:
+    """Render a feature combination as a Figure 11 x-axis label.
+
+    Codes are emitted in the paper's order (uppercase triggers first, the
+    lowercase TLS variants right after their DNS counterparts, O last).
+    """
+    order = [
+        Feature.ICMP,
+        Feature.TCP,
+        Feature.UDP,
+        Feature.DOMAIN,
+        Feature.TLS_ROOT,
+        Feature.SUBDOMAIN,
+        Feature.TLS_SUB,
+        Feature.HITLIST,
+        Feature.ALIASED,
+        Feature.BGP,
+        Feature.OTHER,
+    ]
+    return "".join(FEATURE_CODES[f] for f in order if f in features)

@@ -1,0 +1,288 @@
+"""T-Pot high-interaction honeypots behind a DNAT + 6-to-4 gateway.
+
+The paper's Appendix B setup, reproduced stage by stage:
+
+1. an access router forwards honeyprefix traffic to a **DNAT gateway**,
+   which rewrites every destination to the prefix's first address (``::1``)
+   plus a fresh source port, logging ``(timestamp, original dst, source
+   port)`` so original destinations can be recovered from T-Pot logs;
+2. a **reverse proxy** performs static 6-to-4 translation to the T-Pot
+   instance's IPv4 address and routes by protocol/port to the right
+   container;
+3. the **T-Pot instance** runs the containers of Table 5 (cowrie, snare,
+   dionaea, ...), each answering on its ports with a service banner and
+   logging the interaction.
+
+Each T-Pot instance can only bind a single IPv4 address — the constraint
+that forced the two-stage design in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import (
+    ICMPV6,
+    TCP,
+    UDP,
+    Packet,
+    TcpFlags,
+    icmp_echo_reply,
+    tcp_segment,
+    udp_datagram,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Container:
+    """One honeypot container: name plus its TCP/UDP port surface."""
+
+    name: str
+    tcp_ports: tuple[int, ...] = ()
+    udp_ports: tuple[int, ...] = ()
+    banner: bytes = b""
+
+    def listens(self, proto: int, port: int) -> bool:
+        if proto == TCP:
+            return port in self.tcp_ports
+        if proto == UDP:
+            return port in self.udp_ports
+        return False
+
+
+#: Table 5, H_TPot1 column.
+TPOT1_CONTAINERS: tuple[Container, ...] = (
+    Container("cowrie", tcp_ports=(22, 23), banner=b"SSH-2.0-OpenSSH_8.2\r\n"),
+    Container("mailoney", tcp_ports=(25,), banner=b"220 mail ESMTP\r\n"),
+    Container("snare", tcp_ports=(80,), banner=b"HTTP/1.1 200 OK\r\n"),
+    Container("citrixhoneypot", tcp_ports=(443,), banner=b"HTTP/1.1 200 OK\r\n"),
+    Container("ciscoasa", tcp_ports=(8443,), udp_ports=(5000,)),
+    Container("redishoneypot", tcp_ports=(6379,), banner=b"-ERR unknown\r\n"),
+    Container("adbhoney", tcp_ports=(5555,)),
+    Container(
+        "dionaea",
+        tcp_ports=(20, 21, 42, 81, 135, 443, 445, 1433, 1723, 1883, 3306, 27017),
+        udp_ports=(69,),
+    ),
+    Container("ddospot", udp_ports=(19, 53, 123, 161, 1900)),
+)
+
+#: Table 5, H_TPot2 column.
+TPOT2_CONTAINERS: tuple[Container, ...] = (
+    Container("mailoney", tcp_ports=(25,), banner=b"220 mail ESMTP\r\n"),
+    Container("snare", tcp_ports=(80,), banner=b"HTTP/1.1 200 OK\r\n"),
+    Container("citrixhoneypot", tcp_ports=(443,), banner=b"HTTP/1.1 200 OK\r\n"),
+    Container("ciscoasa", tcp_ports=(8443,), udp_ports=(5000,)),
+    Container("adbhoney", tcp_ports=(5555,)),
+    Container("sentrypeer", udp_ports=(5060,)),
+    Container(
+        "dionaea",
+        tcp_ports=(20, 21, 42, 81, 135, 443, 445, 1433, 1723, 1883, 3306, 27017),
+        udp_ports=(69,),
+    ),
+    Container("ddospot", udp_ports=(19, 53, 123, 161, 1900)),
+    Container("conpot", tcp_ports=(1025, 50100), udp_ports=(161,)),
+    Container("elasticpot", tcp_ports=(9200,), banner=b'{"name":"es"}'),
+    Container("dicompot", tcp_ports=(11112,)),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DnatLogEntry:
+    """One NAT-table record: enough to recover original destinations."""
+
+    timestamp: float
+    original_dst: int
+    source_port: int
+
+
+@dataclass(frozen=True, slots=True)
+class InteractionLog:
+    """One T-Pot container interaction (what T-Pot's own logs record)."""
+
+    timestamp: float
+    container: str
+    src: int
+    proto: int
+    port: int
+    #: T-Pot sees the *translated* destination; analysis joins the NAT log.
+    translated_dst: int
+    data: bytes = b""
+
+
+class TPotInstance:
+    """One T-Pot: a single-address honeypot running Table 5 containers."""
+
+    def __init__(self, name: str, containers: tuple[Container, ...],
+                 ipv4_address: int = 0x0A00_0001):
+        self.name = name
+        self.containers = containers
+        self.ipv4_address = ipv4_address
+        self.interactions: list[InteractionLog] = []
+        surface: dict[tuple[int, int], Container] = {}
+        for container in containers:
+            for port in container.tcp_ports:
+                surface.setdefault((TCP, port), container)
+            for port in container.udp_ports:
+                surface.setdefault((UDP, port), container)
+        self._surface = surface
+
+    def listens(self, proto: int, port: int) -> bool:
+        return (proto, port) in self._surface
+
+    def open_ports(self, proto: int) -> tuple[int, ...]:
+        return tuple(sorted(p for pr, p in self._surface if pr == proto))
+
+    def handle(self, pkt: Packet) -> list[Packet]:
+        """Process a (translated) packet; return the response packets."""
+        container = self._surface.get((pkt.proto, pkt.dport))
+        if container is None:
+            return []
+        if pkt.proto == TCP:
+            if pkt.is_tcp_syn:
+                return [tcp_segment(
+                    pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
+                    TcpFlags.SYN | TcpFlags.ACK, seq=0, ack=pkt.seq + 1,
+                )]
+            if pkt.flags & TcpFlags.ACK and not pkt.payload:
+                # Handshake completion: high-interaction pots speak first.
+                self.interactions.append(InteractionLog(
+                    pkt.timestamp, container.name, pkt.src, TCP, pkt.dport,
+                    pkt.dst,
+                ))
+                if container.banner:
+                    return [tcp_segment(
+                        pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
+                        TcpFlags.PSH | TcpFlags.ACK, seq=1, ack=pkt.seq,
+                        payload=container.banner,
+                    )]
+                return []
+            if pkt.payload:
+                self.interactions.append(InteractionLog(
+                    pkt.timestamp, container.name, pkt.src, TCP, pkt.dport,
+                    pkt.dst, data=pkt.payload,
+                ))
+                return [tcp_segment(
+                    pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
+                    TcpFlags.ACK, seq=1, ack=pkt.seq + len(pkt.payload),
+                )]
+            return []
+        # UDP: answer with a generic service response.
+        self.interactions.append(InteractionLog(
+            pkt.timestamp, container.name, pkt.src, UDP, pkt.dport,
+            pkt.dst, data=pkt.payload,
+        ))
+        return [udp_datagram(
+            pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
+            payload=b"\x00",
+        )]
+
+
+class DnatGateway:
+    """The access-router DNAT stage fronting one T-Pot honeyprefix.
+
+    Rewrites every in-prefix destination to ``prefix::1`` with a fresh
+    source port, keeps the NAT log, answers ICMP for the whole (aliased)
+    prefix itself, and reverse-translates T-Pot responses on the way out.
+    """
+
+    def __init__(
+        self,
+        prefix: IPv6Prefix,
+        tpot: TPotInstance,
+        transmit: Callable[[Packet], None] | None = None,
+        max_nat_entries: int = 1_000_000,
+    ):
+        self.prefix = prefix
+        self.tpot = tpot
+        self._transmit = transmit or (lambda pkt: None)
+        self.nat_log: list[DnatLogEntry] = []
+        self.max_nat_entries = max_nat_entries
+        self._next_port = 32_768
+        #: (scanner addr, assigned source port) -> original destination.
+        self._flows: dict[tuple[int, int], int] = {}
+        #: (scanner addr, scanner port, original dst, proto) -> NAT port,
+        #: so every packet of one flow reuses the same translation.
+        self._flow_ports: dict[tuple[int, int, int, int], int] = {}
+        self.rx_count = 0
+        self.tx_count = 0
+
+    def set_transmit(self, transmit: Callable[[Packet], None]) -> None:
+        self._transmit = transmit
+
+    @property
+    def target_address(self) -> int:
+        """The ``::1`` address all flows are translated to."""
+        return self.prefix.network | 1
+
+    def _assign_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        if self._next_port > 60_999:
+            self._next_port = 32_768
+        return port
+
+    def responds(self, address: int, proto: int, port: int | None) -> bool:
+        """Responsiveness oracle: aliased ICMP + T-Pot's port surface."""
+        if address not in self.prefix:
+            return False
+        if proto == ICMPV6:
+            return True
+        return port is not None and self.tpot.listens(proto, port)
+
+    def handle(self, pkt: Packet) -> None:
+        """Process one packet arriving for the honeyprefix."""
+        self.rx_count += 1
+        if pkt.dst not in self.prefix:
+            return
+        if pkt.proto == ICMPV6:
+            if pkt.is_icmp_echo_request:
+                self.tx_count += 1
+                self._transmit(icmp_echo_reply(pkt))
+            return
+        if not self.tpot.listens(pkt.proto, pkt.dport):
+            return  # closed port: captured upstream, never answered
+        flow_key = (pkt.src, pkt.sport, pkt.dst, pkt.proto)
+        nat_port = self._flow_ports.get(flow_key)
+        if nat_port is None:
+            nat_port = self._assign_port()
+            self._flow_ports[flow_key] = nat_port
+            if len(self.nat_log) < self.max_nat_entries:
+                self.nat_log.append(
+                    DnatLogEntry(pkt.timestamp, pkt.dst, nat_port)
+                )
+            self._flows[(pkt.src, nat_port)] = pkt.dst
+        translated = Packet(
+            timestamp=pkt.timestamp, src=pkt.src, dst=self.target_address,
+            proto=pkt.proto, sport=nat_port, dport=pkt.dport,
+            flags=pkt.flags, payload=pkt.payload, seq=pkt.seq, ack=pkt.ack,
+        )
+        for response in self.tpot.handle(translated):
+            # response.dst is the scanner, response.dport the NAT port we
+            # assigned; the flow table gives back the address the scanner
+            # actually probed so the reply appears to come from it.
+            original_dst = self._flows.get((response.dst, response.dport))
+            out = Packet(
+                timestamp=response.timestamp,
+                src=original_dst if original_dst is not None else response.src,
+                dst=response.dst,
+                proto=response.proto,
+                sport=response.sport,
+                # Restore the scanner's real source port.
+                dport=pkt.sport,
+                flags=response.flags,
+                payload=response.payload,
+                seq=response.seq,
+                ack=response.ack,
+            )
+            self.tx_count += 1
+            self._transmit(out)
+
+    def recover_destination(self, timestamp: float, source_port: int) -> int | None:
+        """Join a T-Pot log line back to its original IPv6 destination."""
+        for entry in reversed(self.nat_log):
+            if entry.source_port == source_port and entry.timestamp <= timestamp:
+                return entry.original_dst
+        return None

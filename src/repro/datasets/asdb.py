@@ -1,0 +1,115 @@
+"""AS-type database (ASdb stand-in).
+
+Categories follow the paper's Figure 5 breakdown.  The paper manually
+reassigned four network entities (e.g. AlphaStrike Labs, Shadow Server) to
+an *Internet Scanner* category after finding ASdb misclassifications; the
+database supports both baseline classification noise and manual overrides.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_probability, make_rng
+
+
+class AsCategory(enum.Enum):
+    """AS types used in the paper's analysis (Fig. 5)."""
+
+    HOSTING_CLOUD = "hosting_cloud"
+    RESEARCH_EDUCATION = "research_education"
+    INTERNET_SCANNER = "internet_scanner"
+    ISP_TELECOM = "isp_telecom"
+    CDN = "cdn"
+    ENTERPRISE = "enterprise"
+    OTHER = "other"
+
+
+@dataclass(frozen=True, slots=True)
+class AsRecord:
+    """One AS: number, name, true category, and registration country."""
+
+    asn: int
+    name: str
+    category: AsCategory
+    country: str
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive: {self.asn}")
+        if len(self.country) != 2:
+            raise ValueError(f"country must be an ISO-3166 alpha-2 code: "
+                             f"{self.country!r}")
+
+
+class AsDatabase:
+    """Registry of AS records with noisy classification + manual overrides."""
+
+    def __init__(
+        self,
+        misclassification_rate: float = 0.03,
+        rng: np.random.Generator | int | None = 0,
+    ):
+        self.misclassification_rate = check_probability(
+            "misclassification_rate", misclassification_rate
+        )
+        self._rng = make_rng(rng)
+        self._records: dict[int, AsRecord] = {}
+        self._overrides: dict[int, AsCategory] = {}
+        # Misclassification draws are fixed per ASN at first query so that
+        # repeated lookups are consistent (a real database is wrong the same
+        # way every time you read it).
+        self._noise: dict[int, AsCategory] = {}
+
+    def register(self, record: AsRecord) -> None:
+        if record.asn in self._records:
+            raise ValueError(f"AS{record.asn} already registered")
+        self._records[record.asn] = record
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, asn: int) -> AsRecord | None:
+        return self._records.get(asn)
+
+    def name(self, asn: int) -> str:
+        record = self._records.get(asn)
+        return record.name if record else f"AS{asn}"
+
+    def override(self, asn: int, category: AsCategory) -> None:
+        """Manually pin the classification for ``asn`` (paper §5.2)."""
+        self._overrides[asn] = category
+
+    def classify(self, asn: int) -> AsCategory:
+        """The category the database *reports* (may be wrong).
+
+        Overrides win; otherwise the true category is returned except with
+        probability ``misclassification_rate``, where a stable wrong answer
+        is returned instead.
+        """
+        if asn in self._overrides:
+            return self._overrides[asn]
+        record = self._records.get(asn)
+        if record is None:
+            return AsCategory.OTHER
+        if asn not in self._noise:
+            if self._rng.random() < self.misclassification_rate:
+                others = [c for c in AsCategory if c is not record.category]
+                self._noise[asn] = others[self._rng.integers(len(others))]
+            else:
+                self._noise[asn] = record.category
+        return self._noise[asn]
+
+    def true_category(self, asn: int) -> AsCategory:
+        """Ground-truth category (what manual inspection would find)."""
+        record = self._records.get(asn)
+        return record.category if record else AsCategory.OTHER
+
+    def records(self) -> tuple[AsRecord, ...]:
+        return tuple(self._records.values())

@@ -1,0 +1,40 @@
+"""IP geolocation database (IPinfo stand-in): prefix -> country, dated."""
+
+from __future__ import annotations
+
+from repro.net.addr import IPv6Prefix
+from repro.routing.rib import Rib, Route
+
+
+class GeoDatabase:
+    """Longest-prefix-match geolocation with snapshot dating.
+
+    The paper used the IPinfo snapshot matching each packet's capture day;
+    we date entries the same way so lookups can be restricted to mappings
+    that existed at capture time.
+    """
+
+    def __init__(self) -> None:
+        self._rib = Rib()
+        self._countries: dict[IPv6Prefix, tuple[str, float]] = {}
+
+    def add(self, prefix: IPv6Prefix, country: str, valid_from: float = 0.0) -> None:
+        if len(country) != 2:
+            raise ValueError(f"country must be an ISO-3166 alpha-2 code: "
+                             f"{country!r}")
+        self._rib.insert(Route(prefix=prefix, origin_asn=1,
+                               installed_at=valid_from))
+        self._countries[prefix] = (country.upper(), valid_from)
+
+    def lookup(self, address: int, at: float | None = None) -> str | None:
+        """Country for ``address``, or None when unmapped."""
+        route = self._rib.lookup(address)
+        if route is None:
+            return None
+        country, valid_from = self._countries[route.prefix]
+        if at is not None and valid_from > at:
+            return None
+        return country
+
+    def __len__(self) -> int:
+        return len(self._countries)

@@ -1,0 +1,32 @@
+"""Prefix-to-AS mapping (CAIDA RouteViews prefix2as stand-in)."""
+
+from __future__ import annotations
+
+from repro.net.addr import IPv6Prefix
+from repro.routing.rib import Rib, Route
+
+
+class Prefix2As:
+    """Longest-prefix-match prefix -> origin-AS mapping with dating."""
+
+    def __init__(self) -> None:
+        self._rib = Rib()
+
+    def add(self, prefix: IPv6Prefix, asn: int, valid_from: float = 0.0) -> None:
+        if asn <= 0:
+            raise ValueError(f"ASN must be positive: {asn}")
+        self._rib.insert(
+            Route(prefix=prefix, origin_asn=asn, installed_at=valid_from)
+        )
+
+    def lookup(self, address: int, at: float | None = None) -> int | None:
+        """Origin ASN for ``address``, or None when unmapped."""
+        route = self._rib.lookup(address)
+        if route is None:
+            return None
+        if at is not None and route.installed_at > at:
+            return None
+        return route.origin_asn
+
+    def __len__(self) -> int:
+        return len(self._rib)

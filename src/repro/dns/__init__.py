@@ -1,0 +1,27 @@
+"""DNS substrate: records, zones, TLD registries, resolution, reverse DNS.
+
+The proactive telescope's second attraction channel: registering domain
+names whose AAAA records point into honeyprefixes.  TLD registries publish
+zone files on a daily cycle (ICANN CZDS-style); scanner agents diff those
+feeds, resolve the new names, and probe the resulting addresses.  The
+reverse (ip6.arpa) tree is modeled too, since prior work found scanners
+walking it.
+"""
+
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import Zone
+from repro.dns.registry import Registrar, TldRegistry, DomainRegistration
+from repro.dns.resolver import Resolver
+from repro.dns.reverse import ReverseZone, nibble_name
+
+__all__ = [
+    "RRType",
+    "ResourceRecord",
+    "Zone",
+    "Registrar",
+    "TldRegistry",
+    "DomainRegistration",
+    "Resolver",
+    "ReverseZone",
+    "nibble_name",
+]

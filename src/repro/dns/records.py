@@ -1,0 +1,66 @@
+"""DNS resource-record model."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.net.addr import format_address
+
+_LABEL = re.compile(r"^(?!-)[a-z0-9_-]{1,63}(?<!-)$")
+
+
+class RRType(enum.Enum):
+    """Resource record types used in this library."""
+
+    AAAA = "AAAA"
+    A = "A"
+    NS = "NS"
+    TXT = "TXT"
+    PTR = "PTR"
+    SOA = "SOA"
+    CNAME = "CNAME"
+
+
+def validate_name(name: str) -> str:
+    """Validate a fully-qualified (no trailing dot) lowercase DNS name."""
+    if not name or len(name) > 253:
+        raise ValueError(f"invalid DNS name length: {name!r}")
+    lowered = name.lower()
+    for label in lowered.split("."):
+        if not _LABEL.match(label):
+            raise ValueError(f"invalid DNS label {label!r} in {name!r}")
+    return lowered
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """One RR: owner name, type, value, TTL, and creation time.
+
+    For AAAA records the value is the 128-bit int address; for TXT/NS/PTR it
+    is a string.
+    """
+
+    name: str
+    rtype: RRType
+    value: int | str
+    ttl: int = 3600
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", validate_name(self.name))
+        if self.rtype is RRType.AAAA and not isinstance(self.value, int):
+            raise TypeError("AAAA record value must be an int address")
+        if self.ttl < 0:
+            raise ValueError(f"TTL must be non-negative: {self.ttl}")
+
+    def render(self) -> str:
+        """Render in zone-file presentation format."""
+        if self.rtype is RRType.AAAA:
+            value = format_address(self.value)
+        elif self.rtype is RRType.TXT:
+            value = f'"{self.value}"'
+        else:
+            value = str(self.value)
+        return f"{self.name}. {self.ttl} IN {self.rtype.value} {value}"

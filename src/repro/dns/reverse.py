@@ -1,0 +1,97 @@
+"""Reverse DNS: the ip6.arpa tree, PTR records, and zone walking.
+
+Zhao et al. (PAM 2024) found IPv6 scanners enumerating targets by walking
+ip6.arpa.  We model the tree precisely enough for that strategy: nibble
+names, PTR records, and the NXDOMAIN / NOERROR-empty distinction that makes
+walking efficient (an empty non-terminal answers NOERROR, so a walker can
+prune subtrees that answer NXDOMAIN).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.net.addr import MAX_ADDRESS
+
+
+def nibble_name(address: int) -> str:
+    """Return the ip6.arpa owner name for a full /128 address."""
+    if not 0 <= address <= MAX_ADDRESS:
+        raise ValueError(f"address out of range: {address!r}")
+    nibbles = [f"{(address >> shift) & 0xF:x}" for shift in range(0, 128, 4)]
+    return ".".join(nibbles) + ".ip6.arpa"
+
+
+def nibble_prefix_name(network: int, prefix_len: int) -> str:
+    """Return the ip6.arpa name for a nibble-aligned prefix."""
+    if prefix_len % 4 != 0:
+        raise ValueError(f"prefix length must be nibble-aligned: /{prefix_len}")
+    count = prefix_len // 4
+    nibbles = [
+        f"{(network >> (124 - 4 * i)) & 0xF:x}" for i in range(count)
+    ]
+    return ".".join(reversed(nibbles)) + ".ip6.arpa"
+
+
+class ReverseZone:
+    """The ip6.arpa tree with PTR records and walk-friendly semantics."""
+
+    def __init__(self) -> None:
+        # address -> list of (ptr target, created_at)
+        self._ptr: dict[int, list[tuple[str, float]]] = {}
+
+    def add_ptr(self, address: int, target: str, at: float = 0.0) -> None:
+        """Install a PTR record for ``address``."""
+        if not 0 <= address <= MAX_ADDRESS:
+            raise ValueError(f"address out of range: {address!r}")
+        self._ptr.setdefault(address, []).append((target, at))
+
+    def lookup_ptr(self, address: int, at: float) -> list[str]:
+        """PTR targets for ``address`` existing at time ``at``."""
+        return [t for t, created in self._ptr.get(address, []) if created <= at]
+
+    def node_exists(self, network: int, prefix_len: int, at: float) -> bool:
+        """NOERROR/NXDOMAIN semantics for a nibble-aligned subtree.
+
+        True (NOERROR) when any PTR record existing at ``at`` lies under the
+        subtree; False (NXDOMAIN) otherwise.  Walkers prune on False.
+        """
+        if prefix_len % 4 != 0:
+            raise ValueError(f"prefix length must be nibble-aligned: /{prefix_len}")
+        if prefix_len == 0:
+            return any(
+                created <= at
+                for records in self._ptr.values()
+                for _, created in records
+            )
+        shift = 128 - prefix_len
+        target = network >> shift
+        for address, records in self._ptr.items():
+            if (address >> shift) == target and any(c <= at for _, c in records):
+                return True
+        return False
+
+    def walk(self, network: int, prefix_len: int, at: float,
+             max_queries: int = 100_000) -> Iterator[int]:
+        """Enumerate all PTR-holding addresses under a prefix by tree walking.
+
+        Mirrors a scanner's ip6.arpa walk: descend nibble by nibble, pruning
+        NXDOMAIN subtrees.  ``max_queries`` bounds the walk the way a real
+        scanner budget would.  Yields addresses in ascending order.
+        """
+        queries = 0
+        stack = [(network, prefix_len)]
+        while stack:
+            net, length = stack.pop()
+            queries += 1
+            if queries > max_queries:
+                return
+            if not self.node_exists(net, length, at):
+                continue
+            if length == 128:
+                yield net
+                continue
+            step = 1 << (128 - length - 4)
+            # Push children in reverse so they pop in ascending order.
+            for i in reversed(range(16)):
+                stack.append((net + i * step, length + 4))

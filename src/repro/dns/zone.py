@@ -1,0 +1,65 @@
+"""DNS zones: record sets, serials, zone-file rendering."""
+
+from __future__ import annotations
+
+from repro.dns.records import ResourceRecord, RRType, validate_name
+
+
+class Zone:
+    """A DNS zone rooted at ``origin`` (e.g. ``example.com``).
+
+    Records are keyed by (owner name, type).  The serial increments on every
+    mutation, which the registry uses to detect changed zones when building
+    its daily zone-file publication.
+    """
+
+    def __init__(self, origin: str, created_at: float = 0.0):
+        self.origin = validate_name(origin)
+        self.created_at = created_at
+        self.serial = 1
+        self._records: dict[tuple[str, RRType], list[ResourceRecord]] = {}
+
+    def _check_in_zone(self, name: str) -> str:
+        name = validate_name(name)
+        if name != self.origin and not name.endswith("." + self.origin):
+            raise ValueError(f"{name!r} is not within zone {self.origin!r}")
+        return name
+
+    def add(self, record: ResourceRecord) -> None:
+        """Add a record (owner must be at or below the zone origin)."""
+        self._check_in_zone(record.name)
+        self._records.setdefault((record.name, record.rtype), []).append(record)
+        self.serial += 1
+
+    def remove(self, name: str, rtype: RRType) -> int:
+        """Remove all records of ``rtype`` at ``name``; returns count removed."""
+        name = self._check_in_zone(name)
+        removed = self._records.pop((name, rtype), [])
+        if removed:
+            self.serial += 1
+        return len(removed)
+
+    def lookup(self, name: str, rtype: RRType) -> list[ResourceRecord]:
+        """Records of ``rtype`` at exactly ``name`` (empty when none)."""
+        try:
+            name = self._check_in_zone(name)
+        except ValueError:
+            return []
+        return list(self._records.get((name, rtype), []))
+
+    def names(self) -> set[str]:
+        """All owner names present in the zone."""
+        return {name for name, _ in self._records}
+
+    def records(self) -> list[ResourceRecord]:
+        """All records, sorted by (name, type) for stable zone files."""
+        out = []
+        for key in sorted(self._records, key=lambda k: (k[0], k[1].value)):
+            out.extend(self._records[key])
+        return out
+
+    def render(self) -> str:
+        """Render the zone in presentation format (zone file text)."""
+        lines = [f"$ORIGIN {self.origin}.", f"; serial {self.serial}"]
+        lines.extend(record.render() for record in self.records())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,55 @@
+"""Address-space map experiment: Figure 14."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.hilbert import hilbert_map, prefix_cells
+from repro.sim.runner import ScenarioResult
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """Hilbert map of NT-A's /32 with honeyprefix placements."""
+
+    grid: np.ndarray
+    honeyprefix_cells: list[tuple[int, int]]
+    upper_half_fraction: float
+
+    def render(self) -> str:
+        # ASCII digest: 16x16 downsample of the 256x256 grid.
+        size = self.grid.shape[0]
+        step = size // 16
+        down = self.grid.reshape(16, step, 16, step).sum(axis=(1, 3))
+        peak = down.max() or 1.0
+        shades = " .:*#@"
+        lines = ["Fig 14 — Hilbert map of the telescope /32 "
+                 "(16x16 downsample; honeyprefixes in the upper half)"]
+        for row in down:
+            lines.append("  " + "".join(
+                shades[min(len(shades) - 1,
+                           int(np.ceil((v / peak) * (len(shades) - 1))))]
+                for v in row
+            ))
+        lines.append(
+            f"  honeyprefixes in upper address half: "
+            f"{self.upper_half_fraction:.0%}"
+        )
+        return "\n".join(lines)
+
+
+def fig14(result: ScenarioResult) -> Fig14Result:
+    """Figure 14: traffic density over the /32 + honeyprefix placement."""
+    covering = result.scenario.nta_covering
+    grid = hilbert_map(result.nta, covering)
+    prefixes = [hp.prefix for hp in result.honeyprefixes.values()]
+    cells = prefix_cells(prefixes, covering)
+    half = covering.network | (1 << 95)
+    upper = sum(1 for p in prefixes if p.network >= half)
+    return Fig14Result(
+        grid=grid,
+        honeyprefix_cells=cells,
+        upper_half_fraction=upper / len(prefixes) if prefixes else 0.0,
+    )

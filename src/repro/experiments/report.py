@@ -1,0 +1,62 @@
+"""Run the full reproduction and write one consolidated report.
+
+``run_all`` executes every registered experiment (sharing one scenario run
+for the scenario-driven ones) and returns/writes the concatenated rendered
+rows — the whole paper's evaluation in a single text artifact.  The CLI
+exposes it as ``python -m repro experiment all``.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments import EXPERIMENTS
+from repro.sim.runner import ScenarioResult
+
+
+def run_all(
+    result: ScenarioResult | None = None,
+    experiment_ids: list[str] | None = None,
+    output_path=None,
+) -> str:
+    """Run every (or the named) experiments; return the combined report.
+
+    ``result`` is required when any selected experiment is
+    scenario-driven.  When ``output_path`` is given the report is also
+    written there.
+    """
+    ids = experiment_ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+    needs_scenario = [i for i in ids if EXPERIMENTS[i][1]]
+    if needs_scenario and result is None:
+        raise ValueError(
+            f"experiments {needs_scenario} need a ScenarioResult; pass one"
+        )
+    buffer = io.StringIO()
+    buffer.write("# Full reproduction report\n")
+    if result is not None:
+        config = result.config
+        buffer.write(
+            f"# scenario: {config.duration_days} days, "
+            f"volume_scale={config.volume_scale}, seed={config.seed}\n"
+        )
+    for experiment_id in ids:
+        driver, needs_result = EXPERIMENTS[experiment_id]
+        buffer.write(f"\n## {experiment_id}\n")
+        try:
+            output = driver(result) if needs_result else driver()
+        except ValueError as error:
+            # An experiment can be unrunnable in the configured horizon
+            # (e.g. the retraction happens after the window ends); note it
+            # instead of losing the rest of the report.
+            buffer.write(f"(skipped: {error})\n")
+            continue
+        buffer.write(output.render())
+        buffer.write("\n")
+    report = buffer.getvalue()
+    if output_path is not None:
+        with open(output_path, "w") as stream:
+            stream.write(report)
+    return report

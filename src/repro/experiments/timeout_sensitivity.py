@@ -1,0 +1,97 @@
+"""Footnote 1's timeout-sensitivity claim.
+
+The paper's scan definition uses a 3600-second inter-arrival timeout and
+cites a sensitivity analysis: shortening to 1800 s or 900 s changes scan
+detection rates only "by single-digit percentages".
+
+Scale matters for this experiment: the simulation emits packets at
+``volume_scale`` of the paper's density, so inter-arrival gaps are
+``1/volume_scale`` times longer than they would be in the real capture.
+With ``density_corrected=True`` (the default when given a scenario result)
+the timeouts are stretched by that factor, comparing sessions exactly as
+the paper's full-volume capture would have; ``density_corrected=False``
+applies the raw wall-clock timeouts, demonstrating how threshold-based scan
+definitions fragment on sparse data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.records import PacketRecords
+from repro.analysis.scandetect import detect_scans
+from repro.sim.runner import ScenarioResult
+
+TIMEOUTS = (3_600.0, 1_800.0, 900.0)
+
+
+@dataclass(frozen=True)
+class TimeoutSensitivityResult:
+    """Scan counts and detected-source counts per timeout."""
+
+    timeouts: tuple[float, ...]
+    effective_timeouts: tuple[float, ...]
+    scan_counts: tuple[int, ...]
+    source_counts: tuple[int, ...]
+    density_corrected: bool
+
+    def relative_drop(self, index: int) -> float:
+        """Drop in detected scanning *sources* vs. the 3600 s baseline.
+
+        Sources are the stable quantity across timeouts (splitting one
+        session into two raises the scan count but not the source count),
+        which is what the paper's detection-rate claim is about.
+        """
+        base = self.source_counts[0]
+        if base == 0:
+            return 0.0
+        return 1.0 - self.source_counts[index] / base
+
+    def render(self) -> str:
+        mode = ("density-corrected to paper volume"
+                if self.density_corrected else "raw simulation density")
+        lines = ["Footnote 1 — scan-detection timeout sensitivity "
+                 f"({mode}; paper: single-digit % differences)"]
+        for i, timeout in enumerate(self.timeouts):
+            lines.append(
+                f"  timeout {timeout:6.0f}s: {self.scan_counts[i]:6d} scans "
+                f"from {self.source_counts[i]:5d} sources "
+                f"(source drop vs 3600s: {self.relative_drop(i):+.1%})"
+            )
+        return "\n".join(lines)
+
+
+def footnote1_timeout_sensitivity(
+    result_or_records: "ScenarioResult | PacketRecords",
+    source_length: int = 64,
+    min_targets: int = 100,
+    density_corrected: bool | None = None,
+) -> TimeoutSensitivityResult:
+    """Run scan detection at 3600/1800/900 s over the same capture."""
+    if isinstance(result_or_records, ScenarioResult):
+        records = result_or_records.nta
+        scale = result_or_records.config.volume_scale
+        if density_corrected is None:
+            density_corrected = True
+    else:
+        records = result_or_records
+        scale = 1.0
+        if density_corrected is None:
+            density_corrected = False
+    factor = 1.0 / scale if density_corrected and scale < 1.0 else 1.0
+
+    scan_counts = []
+    source_counts = []
+    effective = tuple(t * factor for t in TIMEOUTS)
+    for timeout in effective:
+        events = detect_scans(records, source_length=source_length,
+                              min_targets=min_targets, timeout=timeout)
+        scan_counts.append(len(events))
+        source_counts.append(len({e.source for e in events}))
+    return TimeoutSensitivityResult(
+        timeouts=TIMEOUTS,
+        effective_timeouts=effective,
+        scan_counts=tuple(scan_counts),
+        source_counts=tuple(source_counts),
+        density_corrected=density_corrected,
+    )

@@ -1,0 +1,56 @@
+"""Hitlist categories.
+
+Mirrors the categories the paper interacted with (§4.3.6): per-protocol
+responsive lists (ICMP, TCP/80, TCP/443, UDP/53) plus the aliased and
+non-aliased prefix lists.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.net.packet import ICMPV6, TCP, UDP
+
+
+class HitlistCategory(enum.Enum):
+    """One published hitlist category."""
+
+    ICMP = "icmp"
+    TCP80 = "tcp80"
+    TCP443 = "tcp443"
+    UDP53 = "udp53"
+    #: Non-aliased responsive prefixes list.
+    NON_ALIASED = "non_aliased"
+    #: Aliased prefixes list (entire prefixes answering everything).
+    ALIASED = "aliased"
+
+    @property
+    def protocol(self) -> int | None:
+        """IP protocol number probed for this category (None for lists)."""
+        return {
+            HitlistCategory.ICMP: ICMPV6,
+            HitlistCategory.TCP80: TCP,
+            HitlistCategory.TCP443: TCP,
+            HitlistCategory.UDP53: UDP,
+        }.get(self)
+
+    @property
+    def port(self) -> int | None:
+        """Destination port probed for this category (None where n/a)."""
+        return {
+            HitlistCategory.TCP80: 80,
+            HitlistCategory.TCP443: 443,
+            HitlistCategory.UDP53: 53,
+        }.get(self)
+
+
+#: Categories that carry individual addresses (vs. prefixes).
+ADDRESS_CATEGORIES = (
+    HitlistCategory.ICMP,
+    HitlistCategory.TCP80,
+    HitlistCategory.TCP443,
+    HitlistCategory.UDP53,
+)
+
+#: Categories that carry prefixes.
+PREFIX_CATEGORIES = (HitlistCategory.NON_ALIASED, HitlistCategory.ALIASED)

@@ -1,0 +1,79 @@
+"""Hitlist responsiveness prober and aliased-prefix detection.
+
+The prober asks a :class:`ResponsivenessOracle` — in a full simulation, the
+telescope fabric — whether an (address, protocol, port) answers at a given
+time.  Aliased-prefix detection follows the hitlist methodology: probe a
+handful of pseudo-random addresses inside a prefix; if *all* of them answer,
+the prefix is aliased (a single machine answering for everything), so its
+addresses are segregated into the aliased list rather than inflating the
+responsive list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro._util import make_rng
+from repro.hitlist.categories import HitlistCategory
+from repro.net.addr import IPv6Prefix
+
+
+class ResponsivenessOracle(Protocol):
+    """Answers whether an address responds to a protocol/port at a time."""
+
+    def responds(
+        self, address: int, proto: int, port: int | None, at: float
+    ) -> bool:  # pragma: no cover - protocol definition
+        ...
+
+
+class CallableOracle:
+    """Adapter wrapping a plain callable as an oracle."""
+
+    def __init__(self, fn: Callable[[int, int, int | None, float], bool]):
+        self._fn = fn
+
+    def responds(self, address: int, proto: int, port: int | None, at: float) -> bool:
+        return self._fn(address, proto, port, at)
+
+
+class Prober:
+    """Probes candidates per category and detects aliased prefixes."""
+
+    def __init__(
+        self,
+        oracle: ResponsivenessOracle,
+        rng: np.random.Generator | int | None = 0,
+        alias_probe_count: int = 16,
+    ):
+        self.oracle = oracle
+        self._rng = make_rng(rng)
+        self.alias_probe_count = alias_probe_count
+        self.probe_count = 0
+
+    def probe_address(
+        self, address: int, category: HitlistCategory, at: float
+    ) -> bool:
+        """Probe one address for one protocol category."""
+        proto = category.protocol
+        if proto is None:
+            raise ValueError(f"category {category} is not address-probeable")
+        self.probe_count += 1
+        return self.oracle.responds(address, proto, category.port, at)
+
+    def detect_alias(self, prefix: IPv6Prefix, at: float) -> bool:
+        """True when ``prefix`` looks fully aliased.
+
+        Probes ``alias_probe_count`` random addresses with ICMP; aliasing is
+        declared only when every single probe answers — random addresses in
+        a non-aliased prefix are overwhelmingly unused.
+        """
+        for _ in range(self.alias_probe_count):
+            addr = prefix.random_address(self._rng).value
+            self.probe_count += 1
+            if not self.oracle.responds(addr, HitlistCategory.ICMP.protocol,
+                                        None, at):
+                return False
+        return True

@@ -1,0 +1,59 @@
+"""IPv6 data-plane substrate: addresses, packets, wire format, capture files,
+and simulated network interfaces.
+
+The telescope and scanner ecosystem are built on this package.  Addresses
+are int-backed (128-bit Python ints) with helpers to aggregate to the /48
+and /64 granularities the paper uses throughout, and packets are lightweight
+frozen dataclasses with an exact binary wire format for capture storage.
+"""
+
+from repro.net.addr import (
+    IPv6Address,
+    IPv6Prefix,
+    aggregate,
+    aggregate_sources,
+    parse_address,
+    parse_prefix,
+)
+from repro.net.packet import (
+    ICMPV6,
+    TCP,
+    UDP,
+    IcmpType,
+    Packet,
+    TcpFlags,
+    icmp_echo_reply,
+    icmp_echo_request,
+    tcp_segment,
+    udp_datagram,
+)
+from repro.net.pcapstore import PacketReader, PacketWriter, read_packets
+from repro.net.realpcap import convert_capture, read_pcap, write_pcap
+from repro.net.iface import Interface, Link
+
+__all__ = [
+    "IPv6Address",
+    "IPv6Prefix",
+    "aggregate",
+    "aggregate_sources",
+    "parse_address",
+    "parse_prefix",
+    "Packet",
+    "ICMPV6",
+    "TCP",
+    "UDP",
+    "IcmpType",
+    "TcpFlags",
+    "icmp_echo_request",
+    "icmp_echo_reply",
+    "tcp_segment",
+    "udp_datagram",
+    "PacketReader",
+    "PacketWriter",
+    "read_packets",
+    "write_pcap",
+    "read_pcap",
+    "convert_capture",
+    "Interface",
+    "Link",
+]

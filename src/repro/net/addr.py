@@ -1,0 +1,275 @@
+"""Int-backed IPv6 addresses and prefixes.
+
+The standard-library :mod:`ipaddress` module is convenient but too slow for
+the hot paths in this library (hundreds of thousands of per-packet
+aggregations).  We keep addresses as plain 128-bit ints wrapped in a frozen
+``IPv6Address`` and expose vectorized helpers for the aggregation
+granularities the paper uses (/32, /48, /64, /128).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+import numpy as np
+
+MAX_ADDRESS = (1 << 128) - 1
+
+_HEX_GROUP = re.compile(r"^[0-9a-fA-F]{1,4}$")
+
+
+def _mask(prefix_len: int) -> int:
+    """Return the network mask for ``prefix_len`` as a 128-bit int."""
+    if not 0 <= prefix_len <= 128:
+        raise ValueError(f"prefix length must be in [0, 128], got {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return MAX_ADDRESS ^ ((1 << (128 - prefix_len)) - 1)
+
+
+@lru_cache(maxsize=None)
+def _cached_mask(prefix_len: int) -> int:
+    return _mask(prefix_len)
+
+
+def parse_address(text: str) -> int:
+    """Parse an IPv6 address string into its 128-bit integer value.
+
+    Supports the ``::`` zero-compression form and full eight-group form.
+    Raises :class:`ValueError` on malformed input.
+    """
+    text = text.strip()
+    if text.count("::") > 1:
+        raise ValueError(f"invalid IPv6 address (multiple '::'): {text!r}")
+    if "::" in text:
+        head, _, tail = text.partition("::")
+        head_groups = head.split(":") if head else []
+        tail_groups = tail.split(":") if tail else []
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 1:
+            raise ValueError(f"invalid IPv6 address (bad '::'): {text!r}")
+        groups = head_groups + ["0"] * missing + tail_groups
+    else:
+        groups = text.split(":")
+    if len(groups) != 8:
+        raise ValueError(f"invalid IPv6 address (need 8 groups): {text!r}")
+    value = 0
+    for group in groups:
+        if not _HEX_GROUP.match(group):
+            raise ValueError(f"invalid IPv6 group {group!r} in {text!r}")
+        value = (value << 16) | int(group, 16)
+    return value
+
+
+def format_address(value: int) -> str:
+    """Format a 128-bit int as a canonical (RFC 5952-style) IPv6 string."""
+    if not 0 <= value <= MAX_ADDRESS:
+        raise ValueError(f"address out of range: {value!r}")
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+    # Find the longest run of zero groups (length >= 2) for '::' compression.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for i, g in enumerate(groups):
+        if g == 0:
+            if run_start < 0:
+                run_start, run_len = i, 1
+            else:
+                run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len < 2:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+    return f"{head}::{tail}"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class IPv6Address:
+    """A single IPv6 address backed by a 128-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= MAX_ADDRESS:
+            raise ValueError(f"address out of range: {self.value!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Address":
+        return cls(parse_address(text))
+
+    def __str__(self) -> str:
+        return format_address(self.value)
+
+    def truncate(self, prefix_len: int) -> int:
+        """Return the int value of this address truncated to ``prefix_len``."""
+        return self.value & _cached_mask(prefix_len)
+
+    def prefix(self, prefix_len: int) -> "IPv6Prefix":
+        """Return the covering prefix of the given length."""
+        return IPv6Prefix(self.truncate(prefix_len), prefix_len)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class IPv6Prefix:
+    """An IPv6 network prefix: a truncated 128-bit network int + length."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 128:
+            raise ValueError(f"prefix length out of range: {self.length!r}")
+        if not 0 <= self.network <= MAX_ADDRESS:
+            raise ValueError(f"network out of range: {self.network!r}")
+        if self.network & ~_cached_mask(self.length):
+            raise ValueError(
+                f"host bits set in {format_address(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Prefix":
+        addr_text, slash, len_text = text.partition("/")
+        if not slash:
+            raise ValueError(f"prefix must contain '/': {text!r}")
+        return cls(parse_address(addr_text), int(len_text))
+
+    def __str__(self) -> str:
+        return f"{format_address(self.network)}/{self.length}"
+
+    def __contains__(self, item) -> bool:
+        value = item.value if isinstance(item, IPv6Address) else int(item)
+        return value & _cached_mask(self.length) == self.network
+
+    def contains_prefix(self, other: "IPv6Prefix") -> bool:
+        """True when ``other`` is equal to or nested inside this prefix."""
+        if other.length < self.length:
+            return False
+        return other.network & _cached_mask(self.length) == self.network
+
+    @property
+    def first(self) -> IPv6Address:
+        """The first (all-zero-host) address of the prefix."""
+        return IPv6Address(self.network)
+
+    @property
+    def last(self) -> IPv6Address:
+        """The last (all-one-host) address of the prefix."""
+        return IPv6Address(self.network | (MAX_ADDRESS ^ _cached_mask(self.length)))
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (128 - self.length)
+
+    def address_at(self, offset: int) -> IPv6Address:
+        """Return the address at ``offset`` from the start of the prefix."""
+        if not 0 <= offset < self.num_addresses:
+            raise ValueError(f"offset {offset} outside {self}")
+        return IPv6Address(self.network | offset)
+
+    def random_address(self, rng: np.random.Generator) -> IPv6Address:
+        """Draw a uniformly random address from this prefix."""
+        host_bits = 128 - self.length
+        offset = 0
+        # numpy generators yield at most 64 random bits at a time.
+        for shift in range(0, host_bits, 64):
+            chunk_bits = min(64, host_bits - shift)
+            chunk = int(rng.integers(0, 1 << chunk_bits, dtype=np.uint64))
+            offset |= chunk << shift
+        return IPv6Address(self.network | offset)
+
+    def subnets(self, new_length: int) -> Iterator["IPv6Prefix"]:
+        """Iterate the subnets of this prefix at ``new_length``.
+
+        Refuses to enumerate more than 2**20 subnets to protect callers from
+        accidentally materializing astronomically large iterators.
+        """
+        if new_length < self.length:
+            raise ValueError(
+                f"new length /{new_length} shorter than prefix /{self.length}"
+            )
+        count = 1 << (new_length - self.length)
+        if count > 1 << 20:
+            raise ValueError(
+                f"refusing to enumerate {count} subnets of {self}; "
+                "use subnet_at() for point lookups"
+            )
+        step = 1 << (128 - new_length)
+        for i in range(count):
+            yield IPv6Prefix(self.network + i * step, new_length)
+
+    def subnet_at(self, index: int, new_length: int) -> "IPv6Prefix":
+        """Return the ``index``-th subnet of this prefix at ``new_length``."""
+        if new_length < self.length:
+            raise ValueError(
+                f"new length /{new_length} shorter than prefix /{self.length}"
+            )
+        count = 1 << (new_length - self.length)
+        if not 0 <= index < count:
+            raise ValueError(f"subnet index {index} out of range for {self}")
+        step = 1 << (128 - new_length)
+        return IPv6Prefix(self.network + index * step, new_length)
+
+    def supernet(self, new_length: int) -> "IPv6Prefix":
+        """Return the covering prefix of this prefix at a shorter length."""
+        if new_length > self.length:
+            raise ValueError(
+                f"supernet length /{new_length} longer than prefix /{self.length}"
+            )
+        return IPv6Prefix(self.network & _cached_mask(new_length), new_length)
+
+
+def aggregate(value: int, prefix_len: int) -> int:
+    """Truncate an int address to ``prefix_len`` (fast scalar path)."""
+    return value & _cached_mask(prefix_len)
+
+
+def aggregate_sources(values: Iterable[int], prefix_len: int) -> set[int]:
+    """Aggregate int addresses to the set of covering /``prefix_len`` nets."""
+    mask = _cached_mask(prefix_len)
+    return {v & mask for v in values}
+
+
+def split_u64(values: Iterable[int]) -> tuple[np.ndarray, np.ndarray]:
+    """Split 128-bit int addresses into (hi, lo) uint64 numpy arrays.
+
+    The columnar analysis code stores addresses this way so that numpy can
+    group and mask them without Python-object overhead.
+    """
+    vals = list(values)
+    hi = np.fromiter(((v >> 64) & 0xFFFFFFFFFFFFFFFF for v in vals),
+                     dtype=np.uint64, count=len(vals))
+    lo = np.fromiter((v & 0xFFFFFFFFFFFFFFFF for v in vals),
+                     dtype=np.uint64, count=len(vals))
+    return hi, lo
+
+
+def join_u64(hi: np.ndarray, lo: np.ndarray) -> list[int]:
+    """Inverse of :func:`split_u64`."""
+    return [(int(h) << 64) | int(l) for h, l in zip(hi, lo)]
+
+
+def mask_u64(hi: np.ndarray, lo: np.ndarray, prefix_len: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized truncation of (hi, lo) address columns to ``prefix_len``."""
+    if not 0 <= prefix_len <= 128:
+        raise ValueError(f"prefix length must be in [0, 128], got {prefix_len}")
+    if prefix_len <= 64:
+        hi_mask = np.uint64(0) if prefix_len == 0 else np.uint64(
+            (0xFFFFFFFFFFFFFFFF << (64 - prefix_len)) & 0xFFFFFFFFFFFFFFFF
+        )
+        return hi & hi_mask, np.zeros_like(lo)
+    lo_bits = prefix_len - 64
+    lo_mask = np.uint64(0xFFFFFFFFFFFFFFFF) if lo_bits == 64 else np.uint64(
+        (0xFFFFFFFFFFFFFFFF << (64 - lo_bits)) & 0xFFFFFFFFFFFFFFFF
+    )
+    return hi.copy(), lo & lo_mask
+
+
+def parse_prefix(text: str) -> IPv6Prefix:
+    """Convenience alias for :meth:`IPv6Prefix.parse`."""
+    return IPv6Prefix.parse(text)

@@ -1,0 +1,111 @@
+"""Simulated network interfaces and links.
+
+An :class:`Interface` stands in for a raw-socket-bound NIC: it claims a set
+of destination prefixes (IP aliasing — one interface, many non-contiguous
+subnets, exactly the capability the paper built Twinklenet around) and hands
+received packets to a callback.  A :class:`Link` connects interfaces and
+delivers packets to whichever endpoint claims the destination address.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import Packet
+
+RxHandler = Callable[[Packet], None]
+
+
+class Interface:
+    """A network interface claiming one or more destination prefixes.
+
+    ``name`` is for diagnostics.  ``handler`` is invoked for every packet
+    delivered to the interface; it may call :meth:`transmit` to respond.
+    """
+
+    def __init__(self, name: str, handler: RxHandler | None = None):
+        self.name = name
+        self._prefixes: list[IPv6Prefix] = []
+        self._handler = handler
+        self._link: "Link | None" = None
+        self.rx_count = 0
+        self.tx_count = 0
+
+    def claim(self, prefix: IPv6Prefix) -> None:
+        """Claim ownership of all destinations within ``prefix``."""
+        self._prefixes.append(prefix)
+
+    def claim_all(self, prefixes: Iterable[IPv6Prefix]) -> None:
+        for prefix in prefixes:
+            self.claim(prefix)
+
+    def release(self, prefix: IPv6Prefix) -> None:
+        """Stop claiming ``prefix``.  Raises ValueError if not claimed."""
+        self._prefixes.remove(prefix)
+
+    @property
+    def prefixes(self) -> tuple[IPv6Prefix, ...]:
+        return tuple(self._prefixes)
+
+    def owns(self, dst: int) -> bool:
+        """True when any claimed prefix covers ``dst``."""
+        return any(dst in prefix for prefix in self._prefixes)
+
+    def set_handler(self, handler: RxHandler) -> None:
+        self._handler = handler
+
+    def attach(self, link: "Link") -> None:
+        self._link = link
+
+    def deliver(self, pkt: Packet) -> None:
+        """Called by the link when a packet arrives for this interface."""
+        self.rx_count += 1
+        if self._handler is not None:
+            self._handler(pkt)
+
+    def transmit(self, pkt: Packet) -> None:
+        """Send a packet out the attached link."""
+        if self._link is None:
+            raise RuntimeError(f"interface {self.name!r} is not attached to a link")
+        self.tx_count += 1
+        self._link.send(self, pkt)
+
+
+class Link:
+    """A broadcast segment joining interfaces.
+
+    Delivery is by destination ownership: the first attached interface (other
+    than the sender) whose claimed prefixes cover the destination receives
+    the packet.  Undeliverable packets are counted and dropped, mirroring a
+    darknet's silent sink.
+    """
+
+    def __init__(self, name: str = "link0"):
+        self.name = name
+        self._interfaces: list[Interface] = []
+        self.dropped = 0
+        self.delivered = 0
+
+    def attach(self, iface: Interface) -> None:
+        self._interfaces.append(iface)
+        iface.attach(self)
+
+    @property
+    def interfaces(self) -> tuple[Interface, ...]:
+        return tuple(self._interfaces)
+
+    def send(self, sender: Interface | None, pkt: Packet) -> None:
+        """Route ``pkt`` to the owning interface; drop when unowned."""
+        for iface in self._interfaces:
+            if iface is sender:
+                continue
+            if iface.owns(pkt.dst):
+                self.delivered += 1
+                iface.deliver(pkt)
+                return
+        self.dropped += 1
+
+    def inject(self, pkt: Packet) -> None:
+        """Inject a packet from outside the link (e.g. the wider Internet)."""
+        self.send(None, pkt)

@@ -1,0 +1,156 @@
+"""Capture file reader/writer plus BPF-lite packet filters.
+
+``PacketWriter``/``PacketReader`` persist packets in the wire format of
+:mod:`repro.net.wire`.  ``PacketFilter`` is a tiny composable predicate
+language standing in for the BPF filters the paper's Go tooling used.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.net import wire
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import Packet
+
+
+class PacketWriter:
+    """Append packets to a capture file.
+
+    Usable as a context manager; flushes and closes the underlying stream on
+    exit.  Files start with the format header written by this class.
+    """
+
+    def __init__(self, path: str | os.PathLike | io.BufferedIOBase):
+        if isinstance(path, io.BufferedIOBase):
+            self._stream = path
+            self._owns = False
+        else:
+            self._stream = open(path, "wb")
+            self._owns = True
+        wire.write_header(self._stream)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of packets written so far."""
+        return self._count
+
+    def write(self, pkt: Packet) -> None:
+        self._stream.write(wire.encode_packet(pkt))
+        self._count += 1
+
+    def write_all(self, packets: Iterable[Packet]) -> int:
+        n = 0
+        for pkt in packets:
+            self.write(pkt)
+            n += 1
+        return n
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "PacketWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PacketReader:
+    """Iterate packets from a capture file, optionally through a filter."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike | io.BufferedIOBase,
+        packet_filter: Callable[[Packet], bool] | None = None,
+    ):
+        if isinstance(path, io.BufferedIOBase):
+            self._stream = path
+            self._owns = False
+        else:
+            self._stream = open(path, "rb")
+            self._owns = True
+        wire.read_header(self._stream)
+        self._filter = packet_filter
+
+    def __iter__(self) -> Iterator[Packet]:
+        try:
+            for pkt in wire.stream_packets(self._stream):
+                if self._filter is None or self._filter(pkt):
+                    yield pkt
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "PacketReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_packets(
+    path: str | os.PathLike, packet_filter: Callable[[Packet], bool] | None = None
+) -> list[Packet]:
+    """Read all packets from ``path`` (optionally filtered) into a list."""
+    return list(PacketReader(Path(path), packet_filter))
+
+
+@dataclass(frozen=True)
+class PacketFilter:
+    """Composable packet predicate (a BPF-lite).
+
+    Build with the class methods and combine with ``&`` / ``|`` / ``~``::
+
+        f = PacketFilter.proto(TCP) & PacketFilter.dst_in(prefix)
+    """
+
+    predicate: Callable[[Packet], bool]
+
+    def __call__(self, pkt: Packet) -> bool:
+        return self.predicate(pkt)
+
+    def __and__(self, other: "PacketFilter") -> "PacketFilter":
+        return PacketFilter(lambda p: self.predicate(p) and other.predicate(p))
+
+    def __or__(self, other: "PacketFilter") -> "PacketFilter":
+        return PacketFilter(lambda p: self.predicate(p) or other.predicate(p))
+
+    def __invert__(self) -> "PacketFilter":
+        return PacketFilter(lambda p: not self.predicate(p))
+
+    @classmethod
+    def everything(cls) -> "PacketFilter":
+        return cls(lambda p: True)
+
+    @classmethod
+    def proto(cls, proto: int) -> "PacketFilter":
+        return cls(lambda p: p.proto == proto)
+
+    @classmethod
+    def dport(cls, port: int) -> "PacketFilter":
+        return cls(lambda p: p.dport == port)
+
+    @classmethod
+    def dst_in(cls, prefix: IPv6Prefix) -> "PacketFilter":
+        return cls(lambda p: p.dst in prefix)
+
+    @classmethod
+    def src_in(cls, prefix: IPv6Prefix) -> "PacketFilter":
+        return cls(lambda p: p.src in prefix)
+
+    @classmethod
+    def between(cls, start: float, end: float) -> "PacketFilter":
+        if end < start:
+            raise ValueError(f"empty time window: [{start}, {end}]")
+        return cls(lambda p: start <= p.timestamp <= end)

@@ -1,0 +1,109 @@
+"""Binary wire format for packet records.
+
+The capture infrastructure persists packets in a compact fixed-layout binary
+record (a pcap-like format specialized for this library's packet model).
+Record layout, little-endian:
+
+    offset  size  field
+    0       8     timestamp (float64, simulation seconds)
+    8       16    src address (big-endian 128-bit)
+    24      16    dst address (big-endian 128-bit)
+    40      1     protocol number
+    41      2     sport
+    43      2     dport
+    45      2     flags
+    47      1     hop limit
+    48      4     seq
+    52      4     ack
+    56      2     payload length N
+    58      N     payload bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator
+
+from repro.net.packet import Packet
+
+_HEADER = struct.pack("<4sHH", b"RPV6", 1, 0)
+HEADER_LEN = len(_HEADER)
+
+_FIXED = struct.Struct("<d16s16sBHHHBIIH")
+FIXED_LEN = _FIXED.size
+
+
+def write_header(stream: BinaryIO) -> None:
+    """Write the capture-file magic/version header."""
+    stream.write(_HEADER)
+
+
+def read_header(stream: BinaryIO) -> None:
+    """Consume and validate the capture-file header."""
+    header = stream.read(HEADER_LEN)
+    if len(header) != HEADER_LEN or header[:4] != b"RPV6":
+        raise ValueError("not a repro capture file (bad magic)")
+    (_, version, _) = struct.unpack("<4sHH", header)
+    if version != 1:
+        raise ValueError(f"unsupported capture file version: {version}")
+
+
+def encode_packet(pkt: Packet) -> bytes:
+    """Encode one packet into its binary record."""
+    payload = pkt.payload
+    if len(payload) > 0xFFFF:
+        raise ValueError(f"payload too large to encode: {len(payload)} bytes")
+    fixed = _FIXED.pack(
+        pkt.timestamp,
+        pkt.src.to_bytes(16, "big"),
+        pkt.dst.to_bytes(16, "big"),
+        pkt.proto,
+        pkt.sport,
+        pkt.dport,
+        pkt.flags,
+        pkt.hop_limit,
+        pkt.seq & 0xFFFFFFFF,
+        pkt.ack & 0xFFFFFFFF,
+        len(payload),
+    )
+    return fixed + payload
+
+
+def decode_packet(record: bytes) -> Packet:
+    """Decode one binary record back into a :class:`Packet`."""
+    if len(record) < FIXED_LEN:
+        raise ValueError("truncated packet record")
+    (ts, src, dst, proto, sport, dport, flags, hop, seq, ack, plen) = _FIXED.unpack(
+        record[:FIXED_LEN]
+    )
+    payload = record[FIXED_LEN:FIXED_LEN + plen]
+    if len(payload) != plen:
+        raise ValueError("truncated packet payload")
+    return Packet(
+        timestamp=ts,
+        src=int.from_bytes(src, "big"),
+        dst=int.from_bytes(dst, "big"),
+        proto=proto,
+        sport=sport,
+        dport=dport,
+        flags=flags,
+        hop_limit=hop,
+        payload=payload,
+        seq=seq,
+        ack=ack,
+    )
+
+
+def stream_packets(stream: BinaryIO) -> Iterator[Packet]:
+    """Yield packets from an open capture stream positioned after the header."""
+    while True:
+        fixed = stream.read(FIXED_LEN)
+        if not fixed:
+            return
+        if len(fixed) < FIXED_LEN:
+            raise ValueError("truncated packet record at end of stream")
+        plen = struct.unpack_from("<H", fixed, FIXED_LEN - 2)[0]
+        payload = stream.read(plen)
+        if len(payload) != plen:
+            raise ValueError("truncated packet payload at end of stream")
+        yield decode_packet(fixed + payload)

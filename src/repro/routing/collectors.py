@@ -1,0 +1,186 @@
+"""Public route collectors and the BGP propagation model.
+
+Models the observable side of BGP that IPv6 scanners exploit: a set of
+public route collectors (RouteViews / RIPE RIS style, 36 by default to match
+the paper's "36 public BGP collectors monitored").  Propagation semantics:
+
+* announcements of length <= /48 reach most collectors (the paper observed
+  an average of 28 of 36),
+* hyper-specific announcements (/49-/64) reach only the few collectors with
+  permissive ingress policies (the paper observed 5 of 36),
+* RPKI-strict collectors reject announcements that do not validate against
+  the ROA registry,
+* withdrawals become visible within minutes to hours.
+
+Scanner agents subscribe by polling :meth:`CollectorSystem.visible_updates`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro._util import make_rng, spawn_rngs
+from repro.net.addr import IPv6Prefix
+from repro.routing.messages import Announcement, Withdrawal
+from repro.routing.rpki import RoaRegistry, RpkiValidity
+
+#: Longest prefix length that propagates globally (paper §3.2).
+GLOBAL_ROUTABLE_MAX_LENGTH = 48
+
+
+@dataclass(frozen=True, slots=True)
+class VisibleUpdate:
+    """A BGP update as seen at one collector, with its visibility time."""
+
+    collector: str
+    visible_at: float
+    update: Announcement | Withdrawal
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return isinstance(self.update, Withdrawal)
+
+
+class RouteCollector:
+    """One public route collector.
+
+    ``accepts_hyper_specific`` marks the minority of collectors whose peers
+    do not filter >/48 announcements.  ``rpki_strict`` collectors drop
+    announcements that fail route-origin validation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        accepts_hyper_specific: bool = False,
+        rpki_strict: bool = False,
+    ):
+        self.name = name
+        self.accepts_hyper_specific = accepts_hyper_specific
+        self.rpki_strict = rpki_strict
+        self._events: list[VisibleUpdate] = []
+        self._times: list[float] = []
+
+    def record(self, update: Announcement | Withdrawal, visible_at: float) -> None:
+        event = VisibleUpdate(self.name, visible_at, update)
+        idx = bisect.bisect_right(self._times, visible_at)
+        self._times.insert(idx, visible_at)
+        self._events.insert(idx, event)
+
+    def events(self) -> tuple[VisibleUpdate, ...]:
+        return tuple(self._events)
+
+    def events_between(self, since: float, until: float) -> list[VisibleUpdate]:
+        """Events with ``since < visible_at <= until`` (poll semantics)."""
+        lo = bisect.bisect_right(self._times, since)
+        hi = bisect.bisect_right(self._times, until)
+        return self._events[lo:hi]
+
+    def carries(self, prefix: IPv6Prefix, at: float) -> bool:
+        """True when this collector holds a route for ``prefix`` at ``at``."""
+        state = False
+        for event in self._events:
+            if event.visible_at > at:
+                break
+            if event.update.prefix == prefix:
+                state = not event.is_withdrawal
+        return state
+
+
+class CollectorSystem:
+    """The full set of public collectors plus the propagation model."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator | int | None = 0,
+        n_collectors: int = 36,
+        n_permissive: int = 5,
+        roa_registry: RoaRegistry | None = None,
+        reach_probability: float = 0.85,
+        min_delay: float = 60.0,
+        max_delay: float = 900.0,
+    ):
+        if n_permissive > n_collectors:
+            raise ValueError("n_permissive cannot exceed n_collectors")
+        self._rng = make_rng(rng)
+        self.roa_registry = roa_registry
+        self.reach_probability = reach_probability
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.collectors: list[RouteCollector] = []
+        strict_flags = self._rng.random(n_collectors) < 0.4
+        for i in range(n_collectors):
+            self.collectors.append(
+                RouteCollector(
+                    name=f"rc{i:02d}",
+                    accepts_hyper_specific=i < n_permissive,
+                    rpki_strict=bool(strict_flags[i]) and roa_registry is not None,
+                )
+            )
+
+    def _delay(self) -> float:
+        return float(self._rng.uniform(self.min_delay, self.max_delay))
+
+    def _validity(self, prefix: IPv6Prefix, origin: int, at: float) -> RpkiValidity:
+        if self.roa_registry is None:
+            return RpkiValidity.NOT_FOUND
+        return self.roa_registry.validate(prefix, origin, at=at)
+
+    def announce(self, announcement: Announcement) -> list[RouteCollector]:
+        """Propagate an announcement; return the collectors that accepted it."""
+        validity = self._validity(
+            announcement.prefix, announcement.origin_asn, announcement.timestamp
+        )
+        reached = []
+        hyper = announcement.prefix.length > GLOBAL_ROUTABLE_MAX_LENGTH
+        for collector in self.collectors:
+            if hyper and not collector.accepts_hyper_specific:
+                continue
+            if collector.rpki_strict and validity is not RpkiValidity.VALID:
+                continue
+            if not hyper and self._rng.random() > self.reach_probability:
+                continue
+            collector.record(announcement, announcement.timestamp + self._delay())
+            reached.append(collector)
+        return reached
+
+    def withdraw(self, withdrawal: Withdrawal) -> list[RouteCollector]:
+        """Propagate a withdrawal to every collector carrying the prefix."""
+        reached = []
+        for collector in self.collectors:
+            if collector.carries(withdrawal.prefix, withdrawal.timestamp):
+                collector.record(withdrawal, withdrawal.timestamp + self._delay())
+                reached.append(collector)
+        return reached
+
+    def visibility_count(self, prefix: IPv6Prefix, at: float) -> int:
+        """Number of collectors carrying ``prefix`` at time ``at``."""
+        return sum(1 for c in self.collectors if c.carries(prefix, at))
+
+    def visible_updates(self, since: float, until: float) -> Iterator[VisibleUpdate]:
+        """All updates that became visible in ``(since, until]``.
+
+        This is the feed scanner agents poll; updates from different
+        collectors for the same prefix are yielded individually, as a real
+        RIS/RouteViews consumer would see them.
+        """
+        for collector in self.collectors:
+            yield from collector.events_between(since, until)
+
+    def new_prefixes(self, since: float, until: float) -> dict[IPv6Prefix, float]:
+        """Deduplicated map of newly announced prefix -> earliest visibility.
+
+        Convenience for scanners that only care about *new* targets.
+        """
+        seen: dict[IPv6Prefix, float] = {}
+        for event in self.visible_updates(since, until):
+            if event.is_withdrawal:
+                continue
+            prev = seen.get(event.update.prefix)
+            if prev is None or event.visible_at < prev:
+                seen[event.update.prefix] = event.visible_at
+        return seen

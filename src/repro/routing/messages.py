@@ -1,0 +1,47 @@
+"""BGP update messages: announcements and withdrawals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv6Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class Announcement:
+    """A BGP route announcement.
+
+    ``as_path`` is ordered from the announcing neighbor toward the origin;
+    the last element is the origin ASN.
+    """
+
+    prefix: IPv6Prefix
+    origin_asn: int
+    timestamp: float
+    as_path: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.origin_asn <= 0:
+            raise ValueError(f"origin ASN must be positive: {self.origin_asn}")
+        if self.as_path and self.as_path[-1] != self.origin_asn:
+            raise ValueError(
+                f"AS path {self.as_path} must terminate at origin {self.origin_asn}"
+            )
+
+    def extended(self, via_asn: int) -> "Announcement":
+        """Return a copy as re-announced through ``via_asn`` (path prepend)."""
+        return Announcement(
+            prefix=self.prefix,
+            origin_asn=self.origin_asn,
+            timestamp=self.timestamp,
+            as_path=(via_asn,) + (self.as_path or (self.origin_asn,)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Withdrawal:
+    """A BGP route withdrawal."""
+
+    prefix: IPv6Prefix
+    origin_asn: int
+    timestamp: float

@@ -1,0 +1,86 @@
+"""Routing Information Base with longest-prefix-match lookup.
+
+Routes are indexed by prefix length; lookups test each populated length from
+longest to shortest.  With at most 129 lengths this is effectively a fixed
+small constant per lookup while staying simple and allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.net.addr import IPv6Prefix, _cached_mask
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A single RIB entry."""
+
+    prefix: IPv6Prefix
+    origin_asn: int
+    as_path: tuple[int, ...] = ()
+    installed_at: float = 0.0
+
+
+class Rib:
+    """A routing table supporting insert, withdraw, and LPM lookup."""
+
+    def __init__(self) -> None:
+        # length -> {network int -> Route}
+        self._by_length: dict[int, dict[int, Route]] = {}
+        self._sorted_lengths: list[int] = []
+
+    def __len__(self) -> int:
+        return sum(len(nets) for nets in self._by_length.values())
+
+    def __contains__(self, prefix: IPv6Prefix) -> bool:
+        return prefix.network in self._by_length.get(prefix.length, {})
+
+    def insert(self, route: Route) -> None:
+        """Install (or replace) the route for its exact prefix."""
+        nets = self._by_length.get(route.prefix.length)
+        if nets is None:
+            nets = self._by_length[route.prefix.length] = {}
+            self._sorted_lengths = sorted(self._by_length, reverse=True)
+        nets[route.prefix.network] = route
+
+    def withdraw(self, prefix: IPv6Prefix) -> Route | None:
+        """Remove and return the exact-match route, or None if absent."""
+        nets = self._by_length.get(prefix.length)
+        if not nets:
+            return None
+        route = nets.pop(prefix.network, None)
+        if not nets:
+            del self._by_length[prefix.length]
+            self._sorted_lengths = sorted(self._by_length, reverse=True)
+        return route
+
+    def lookup(self, address: int) -> Route | None:
+        """Longest-prefix-match lookup for a destination address."""
+        for length in self._sorted_lengths:
+            network = address & _cached_mask(length)
+            route = self._by_length[length].get(network)
+            if route is not None:
+                return route
+        return None
+
+    def exact(self, prefix: IPv6Prefix) -> Route | None:
+        """Exact-match lookup."""
+        return self._by_length.get(prefix.length, {}).get(prefix.network)
+
+    def covered_by(self, prefix: IPv6Prefix) -> list[Route]:
+        """All routes whose prefixes nest inside ``prefix`` (inclusive)."""
+        found = []
+        for length, nets in self._by_length.items():
+            if length < prefix.length:
+                continue
+            for route in nets.values():
+                if prefix.contains_prefix(route.prefix):
+                    found.append(route)
+        return found
+
+    def routes(self) -> Iterator[Route]:
+        """Iterate all installed routes (unspecified order)."""
+        for nets in self._by_length.values():
+            yield from nets.values()

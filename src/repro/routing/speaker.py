@@ -1,0 +1,84 @@
+"""BGP speaker: the BIRD-like daemon the telescope runs.
+
+A :class:`BgpSpeaker` owns an ASN, keeps a local RIB of what it currently
+originates, and pushes announcements/withdrawals into a
+:class:`~repro.routing.collectors.CollectorSystem` (the observable Internet).
+It optionally registers ROAs first, mirroring the paper's workflow where the
+ISP registered honeyprefixes on APNIC's RPKI portal so upstreams would
+accept and propagate the routes.
+"""
+
+from __future__ import annotations
+
+from repro.net.addr import IPv6Prefix
+from repro.routing.collectors import CollectorSystem
+from repro.routing.messages import Announcement, Withdrawal
+from repro.routing.rib import Rib, Route
+from repro.routing.rpki import Roa, RoaRegistry
+
+
+class BgpSpeaker:
+    """Originates prefixes from ``asn`` into the collector system."""
+
+    def __init__(
+        self,
+        asn: int,
+        collectors: CollectorSystem,
+        roa_registry: RoaRegistry | None = None,
+    ):
+        if asn <= 0:
+            raise ValueError(f"ASN must be positive: {asn}")
+        self.asn = asn
+        self.collectors = collectors
+        self.roa_registry = roa_registry
+        self.local_rib = Rib()
+        self.history: list[Announcement | Withdrawal] = []
+
+    def register_roa(
+        self, prefix: IPv6Prefix, at: float, max_length: int | None = None
+    ) -> Roa:
+        """Register a ROA covering ``prefix`` (and longer, up to max_length)."""
+        if self.roa_registry is None:
+            raise RuntimeError("speaker has no ROA registry configured")
+        roa = Roa(
+            prefix=prefix,
+            asn=self.asn,
+            max_length=prefix.length if max_length is None else max_length,
+            registered_at=at,
+        )
+        self.roa_registry.register(roa)
+        return roa
+
+    def announce(self, prefix: IPv6Prefix, at: float) -> Announcement:
+        """Originate ``prefix``; returns the announcement that was sent.
+
+        The announcement is installed in the local RIB regardless of how many
+        collectors accept it (the paper's H_TCP /48 was configured in BIRD
+        but never reached the Internet — locally present, globally absent).
+        """
+        announcement = Announcement(
+            prefix=prefix,
+            origin_asn=self.asn,
+            timestamp=at,
+            as_path=(self.asn,),
+        )
+        self.local_rib.insert(
+            Route(prefix=prefix, origin_asn=self.asn, as_path=(self.asn,),
+                  installed_at=at)
+        )
+        self.history.append(announcement)
+        self.collectors.announce(announcement)
+        return announcement
+
+    def withdraw(self, prefix: IPv6Prefix, at: float) -> Withdrawal:
+        """Withdraw a previously originated prefix."""
+        if self.local_rib.withdraw(prefix) is None:
+            raise ValueError(f"{prefix} is not currently originated by AS{self.asn}")
+        withdrawal = Withdrawal(prefix=prefix, origin_asn=self.asn, timestamp=at)
+        self.history.append(withdrawal)
+        self.collectors.withdraw(withdrawal)
+        return withdrawal
+
+    def originated(self) -> list[IPv6Prefix]:
+        """Prefixes this speaker currently originates."""
+        return [route.prefix for route in self.local_rib.routes()]

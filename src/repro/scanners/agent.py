@@ -1,0 +1,178 @@
+"""Scanner agents: schedule trigger reactions, emit per-day packet batches.
+
+An agent owns an identity (AS, source pool), a set of strategies (data-feed
+watchers), and its active :class:`ScanSession`s.  The simulation drives it
+with two calls per day:
+
+* :meth:`poll_feeds` — check every strategy for new triggers;
+* :meth:`emit_day` — turn each active session's intensity envelope into a
+  Poisson packet count and concrete packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import DAY, make_rng
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import (
+    ICMPV6,
+    TCP,
+    UDP,
+    Packet,
+    TcpFlags,
+    icmp_echo_request,
+    tcp_segment,
+    udp_datagram,
+)
+from repro.scanners.identity import ScannerIdentity, SourceAllocator
+from repro.scanners.strategies import ProbeBatch, ProbeTarget, Strategy
+
+
+@dataclass
+class ScanSession:
+    """One active probing campaign (a batch being executed)."""
+
+    batch: ProbeBatch
+    packets_sent: int = 0
+    #: Worker slice of the agent's source pool dedicated to this target
+    #: (None: draw from the whole pool).
+    sources: list[int] | None = None
+
+    def expected_packets(self, day_start: float, day_end: float) -> float:
+        """Expected packets in ``[day_start, day_end)``.
+
+        Approximates the envelope's integral with the midpoint rate; the
+        per-day envelope changes slowly relative to a day, so this is
+        accurate to a few percent.
+        """
+        effective_start = max(day_start, self.batch.start)
+        end = day_end
+        if self.batch.cancelled_at is not None:
+            end = min(end, self.batch.cancelled_at)
+        end = min(end, self.batch.start + self.batch.duration)
+        if end <= effective_start:
+            return 0.0
+        midpoint = 0.5 * (effective_start + end)
+        fraction = (end - effective_start) / DAY
+        return self.batch.rate_at(midpoint) * fraction
+
+
+class ScannerAgent:
+    """One scanner: identity + strategies + active sessions."""
+
+    def __init__(
+        self,
+        identity: ScannerIdentity,
+        strategies: list[Strategy],
+        rng: np.random.Generator | int | None = 0,
+        volume_scale: float = 1.0,
+        max_sessions: int = 200,
+        weekly_amplitude: float = 0.15,
+    ):
+        self.identity = identity
+        self.strategies = list(strategies)
+        self._rng = make_rng(rng)
+        self.allocator = SourceAllocator(identity, rng=self._rng)
+        self.volume_scale = volume_scale
+        self.max_sessions = max_sessions
+        # Real scanning operations have day-of-week rhythm (jobs pause on
+        # weekends, batch restarts on Mondays); a mild sinusoid with a
+        # per-agent phase gives the daily series the weekly seasonality
+        # the BSTM's seasonal component models.
+        self.weekly_amplitude = weekly_amplitude
+        self.weekly_phase = float(self._rng.uniform(0, 2 * np.pi))
+        self.sessions: list[ScanSession] = []
+        self.packets_emitted = 0
+
+    # -- feeds ------------------------------------------------------------
+
+    def poll_feeds(self, since: float, until: float) -> int:
+        """Poll every strategy; returns the number of new sessions."""
+        new = 0
+        for strategy in self.strategies:
+            for batch in strategy.poll(since, until, self._rng):
+                if len(self.sessions) >= self.max_sessions:
+                    break
+                # Trigger-driven batches get a worker slice of the pool;
+                # long-running background scans rotate the whole pool.
+                slice_sources = (
+                    self.allocator.target_slice()
+                    if batch.trigger not in ("ambient", "sweep", "tga")
+                    else None
+                )
+                self.sessions.append(ScanSession(
+                    batch, sources=slice_sources
+                ))
+                new += 1
+        return new
+
+    def cancel_prefix(self, prefix: IPv6Prefix, at: float) -> int:
+        """Cancel sessions probing ``prefix`` (BGP withdrawal reaction)."""
+        n = 0
+        for session in self.sessions:
+            subject = session.batch.subject_prefix
+            if subject is not None and (
+                subject == prefix or prefix.contains_prefix(subject)
+            ):
+                session.batch.cancel(at)
+                n += 1
+        return n
+
+    # -- emission -----------------------------------------------------------
+
+    def _packet_for(self, target: ProbeTarget, ts: float,
+                    sources: list[int] | None = None) -> Packet:
+        if sources is not None:
+            src = sources[int(self._rng.integers(len(sources)))]
+        else:
+            src = self.allocator.source()
+        if target.proto == ICMPV6:
+            return icmp_echo_request(ts, src, target.address)
+        if target.proto == TCP:
+            sport = int(self._rng.integers(32_768, 61_000))
+            return tcp_segment(ts, src, target.address, sport, target.dport,
+                               TcpFlags.SYN)
+        sport = int(self._rng.integers(32_768, 61_000))
+        return udp_datagram(ts, src, target.address, sport, target.dport,
+                            payload=b"\x00\x01")
+
+    def emit_day(self, day_start: float, day_end: float) -> list[Packet]:
+        """Emit this day's probe packets across all active sessions."""
+        self.allocator.new_session()
+        packets: list[Packet] = []
+        day_index = day_start / DAY
+        weekly = 1.0 + self.weekly_amplitude * float(
+            np.sin(2 * np.pi * day_index / 7.0 + self.weekly_phase)
+        )
+        for session in self.sessions:
+            expected = session.expected_packets(day_start, day_end) * (
+                self.volume_scale * weekly
+            )
+            if expected <= 0:
+                continue
+            n = int(self._rng.poisson(expected))
+            if n == 0:
+                continue
+            timestamps = np.sort(
+                self._rng.uniform(
+                    max(day_start, session.batch.start), day_end, size=n
+                )
+            )
+            targets = session.batch.sampler(self._rng, n)
+            for ts, target in zip(timestamps, targets):
+                packets.append(
+                    self._packet_for(target, float(ts), session.sources)
+                )
+            session.packets_sent += n
+        # Retire long-dead sessions to bound memory.
+        self.sessions = [
+            s for s in self.sessions
+            if (s.batch.cancelled_at is None or
+                day_end < s.batch.cancelled_at + DAY)
+            and day_end < s.batch.start + s.batch.duration + DAY
+        ]
+        self.packets_emitted += len(packets)
+        return packets

@@ -1,0 +1,136 @@
+"""Entropy-clustering target generation (Entropy/IP-family, §2.2).
+
+The other classic TGA school: instead of a space tree, learn a *per-cluster
+statistical model* of seed addresses.  Seeds are clustered by their
+structural fingerprint (which nibble positions are fixed vs. variable),
+then candidates are sampled from each cluster's per-position empirical
+nibble distributions.  Blind (no feedback), but much better than uniform
+random at matching operator addressing conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import make_rng
+from repro.analysis.addrpatterns import nibble_entropy_profile
+
+N_NIBBLES = 32
+
+
+def _nibble_matrix(seeds: list[int]) -> np.ndarray:
+    matrix = np.zeros((len(seeds), N_NIBBLES), dtype=np.int8)
+    for i, seed in enumerate(seeds):
+        for pos in range(N_NIBBLES):
+            matrix[i, pos] = (seed >> (124 - 4 * pos)) & 0xF
+    return matrix
+
+
+def _fingerprint(row: np.ndarray, discriminating: np.ndarray) -> tuple:
+    """A seed's structural signature: its values at discriminating
+    positions (those where the seed set takes only a few distinct values —
+    network/subnet structure rather than host randomness)."""
+    return tuple(
+        int(row[pos]) if discriminating[pos] else -1
+        for pos in range(N_NIBBLES)
+    )
+
+
+@dataclass
+class EntropyCluster:
+    """One learned address cluster."""
+
+    fingerprint: tuple
+    seeds: list[int] = field(default_factory=list)
+    #: per-position nibble frequency table, shape (32, 16).
+    frequencies: np.ndarray | None = None
+
+    def fit(self) -> None:
+        matrix = _nibble_matrix(self.seeds)
+        table = np.zeros((N_NIBBLES, 16))
+        for pos in range(N_NIBBLES):
+            values, counts = np.unique(matrix[:, pos], return_counts=True)
+            table[pos, values] = counts
+        # Laplace smoothing on variable positions only: fixed positions
+        # (single observed value) stay deterministic.
+        for pos in range(N_NIBBLES):
+            if (table[pos] > 0).sum() > 1:
+                table[pos] += 0.05
+        self.frequencies = table / table.sum(axis=1, keepdims=True)
+
+    def generate(self, rng: np.random.Generator, n: int) -> list[int]:
+        if self.frequencies is None:
+            raise RuntimeError("cluster is not fitted")
+        out = []
+        for _ in range(n):
+            address = 0
+            for pos in range(N_NIBBLES):
+                nibble = int(rng.choice(16, p=self.frequencies[pos]))
+                address = (address << 4) | nibble
+            out.append(address)
+        return out
+
+
+class EntropyTga:
+    """Cluster seeds, sample per-cluster nibble models."""
+
+    def __init__(self, seeds: list[int],
+                 rng: np.random.Generator | int | None = 0,
+                 max_discriminating_values: int = 4):
+        if not seeds:
+            raise ValueError("entropy TGA needs at least one seed")
+        self._rng = make_rng(rng)
+        seeds = sorted(set(seeds))
+        entropy = nibble_entropy_profile(seeds)
+        matrix = _nibble_matrix(seeds)
+        # Discriminating positions: few distinct values across the seed
+        # set, i.e. network/subnet structure — but more than one value,
+        # else there is nothing to split on.
+        distinct = np.array([
+            len(np.unique(matrix[:, pos])) for pos in range(N_NIBBLES)
+        ])
+        discriminating = (distinct > 1) & (
+            distinct <= max_discriminating_values
+        )
+        clusters: dict[tuple, EntropyCluster] = {}
+        for row, seed in zip(matrix, seeds):
+            key = _fingerprint(row, discriminating)
+            cluster = clusters.setdefault(key, EntropyCluster(key))
+            cluster.seeds.append(seed)
+        for cluster in clusters.values():
+            cluster.fit()
+        self.clusters = list(clusters.values())
+        self.entropy = entropy
+
+    def generate(self, n: int) -> list[int]:
+        """Sample ``n`` candidates, clusters weighted by seed mass."""
+        weights = np.array([len(c.seeds) for c in self.clusters],
+                           dtype=float)
+        weights /= weights.sum()
+        allocation = self._rng.multinomial(n, weights)
+        out = []
+        for cluster, count in zip(self.clusters, allocation):
+            if count:
+                out.extend(cluster.generate(self._rng, int(count)))
+        return out
+
+    def run(self, oracle, budget: int, at: float = 0.0):
+        """Harness-compatible driver: generate, probe, tally."""
+        from repro.scanners.tga6tree import SixTreeResult, SixTreeRound
+
+        result = SixTreeResult()
+        candidates = self.generate(budget)
+        hits = 0
+        for candidate in candidates:
+            result.probes_sent += 1
+            if oracle(candidate, at):
+                hits += 1
+                result.discovered.add(candidate)
+        result.rounds.append(SixTreeRound(
+            round_index=0, probes=budget, hits=hits,
+            new_addresses=len(result.discovered),
+            active_regions=len(self.clusters),
+        ))
+        return result

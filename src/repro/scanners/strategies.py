@@ -1,0 +1,682 @@
+"""Target-generation strategies wired to the public data feeds.
+
+Each strategy polls one data source and converts what it finds into
+:class:`ProbeBatch` descriptors — "start probing these targets at time T,
+with an initial burst decaying to a floor".  The burst/decay form matches
+the paper's Figures 7/8: scanner attention spikes immediately after a
+trigger, then converges to a stable lower value after 15-40 days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro._util import DAY, make_rng
+from repro.dns.resolver import Resolver
+from repro.dns.reverse import ReverseZone
+from repro.hitlist.categories import HitlistCategory
+from repro.hitlist.service import HitlistService
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import ICMPV6, TCP, UDP
+from repro.routing.collectors import CollectorSystem
+from repro.tlsca.ctlog import CtLog
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeTarget:
+    """One concrete probe: destination, protocol, destination port."""
+
+    address: int
+    proto: int
+    dport: int = 0
+
+
+#: Draws ``n`` probe targets.
+TargetSampler = Callable[[np.random.Generator, int], list[ProbeTarget]]
+
+
+@dataclass(frozen=True)
+class ProtocolProfile:
+    """A scanner's protocol mix for generic (non-source-specific) probes."""
+
+    icmp_weight: float = 1.0
+    tcp_weight: float = 0.0
+    udp_weight: float = 0.0
+    tcp_ports: tuple[int, ...] = (80, 443, 22, 23)
+    udp_ports: tuple[int, ...] = (53, 123)
+
+    def sample(self, rng: np.random.Generator, address: int) -> ProbeTarget:
+        weights = np.array(
+            [self.icmp_weight, self.tcp_weight, self.udp_weight]
+        )
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("protocol profile has no positive weight")
+        choice = rng.choice(3, p=weights / total)
+        if choice == 0:
+            return ProbeTarget(address, ICMPV6)
+        if choice == 1:
+            port = self.tcp_ports[int(rng.integers(len(self.tcp_ports)))]
+            return ProbeTarget(address, TCP, port)
+        port = self.udp_ports[int(rng.integers(len(self.udp_ports)))]
+        return ProbeTarget(address, UDP, port)
+
+
+@dataclass
+class ProbeBatch:
+    """A trigger's worth of probing: targets plus an intensity envelope.
+
+    Daily rate: ``floor + (peak - floor) * exp(-(t - start)/tau)`` packets
+    per day, for ``duration`` days after ``start``.
+    """
+
+    trigger: str
+    start: float
+    sampler: TargetSampler
+    peak_rate: float
+    floor_rate: float = 0.0
+    decay_tau: float = 10 * DAY
+    duration: float = 365 * DAY
+    #: The prefix this batch is probing (None for address-list batches);
+    #: used to cancel batches when their BGP announcement is withdrawn.
+    subject_prefix: IPv6Prefix | None = None
+    #: Set when the batch is cancelled (e.g. BGP withdrawal): probing stops.
+    cancelled_at: float | None = None
+
+    def cancel(self, at: float) -> None:
+        """Stop the batch at time ``at`` (idempotent, keeps earliest)."""
+        if self.cancelled_at is None or at < self.cancelled_at:
+            self.cancelled_at = at
+
+    def rate_at(self, t: float) -> float:
+        """Expected packets/day at absolute time ``t``."""
+        if t < self.start or t > self.start + self.duration:
+            return 0.0
+        if self.cancelled_at is not None and t >= self.cancelled_at:
+            return 0.0
+        age = t - self.start
+        return self.floor_rate + (self.peak_rate - self.floor_rate) * float(
+            np.exp(-age / self.decay_tau)
+        )
+
+
+class Strategy:
+    """Base: poll a data feed, return new probe batches."""
+
+    def poll(self, since: float, until: float,
+             rng: np.random.Generator) -> list[ProbeBatch]:
+        raise NotImplementedError
+
+
+# -- samplers ----------------------------------------------------------------
+
+
+def prefix_sampler(
+    prefix: IPv6Prefix,
+    profile: ProtocolProfile,
+    low_weight: float = 0.5,
+    low_span: int = 64,
+    subnet_length: int = 64,
+) -> TargetSampler:
+    """Probe inside a prefix: low addresses of low subnets + random spread.
+
+    Mirrors observed in-prefix exploration: scanners concentrate on the
+    first addresses of the first subnets (``::1`` patterns) and scatter the
+    rest across random /64s.
+    """
+
+    def sample(rng: np.random.Generator, n: int) -> list[ProbeTarget]:
+        out = []
+        n_subnets = 1 << min(subnet_length - prefix.length, 16)
+        for _ in range(n):
+            if rng.random() < low_weight:
+                subnet = int(rng.integers(min(n_subnets, 8)))
+                offset = int(rng.integers(1, low_span))
+                addr = (prefix.network
+                        | (subnet << (128 - subnet_length))
+                        | offset)
+            else:
+                addr = prefix.random_address(rng).value
+            out.append(profile.sample(rng, addr))
+        return out
+
+    return sample
+
+
+def address_list_sampler(
+    targets: list[ProbeTarget],
+) -> TargetSampler:
+    """Probe a fixed list of concrete targets, round-robin with jitter."""
+    if not targets:
+        raise ValueError("target list must not be empty")
+
+    def sample(rng: np.random.Generator, n: int) -> list[ProbeTarget]:
+        idx = rng.integers(0, len(targets), size=n)
+        return [targets[int(i)] for i in idx]
+
+    return sample
+
+
+# -- feed-driven strategies ---------------------------------------------------
+
+
+class BgpWatcher(Strategy):
+    """Watches the public route collectors for new prefixes.
+
+    Reacts to newly visible prefixes with an in-prefix probe batch.
+    ``min_collectors`` models scanners that only trust well-propagated
+    routes (hyper-specifics reach ~5 collectors and attract fewer, more
+    sporadic scanners — Fig. 10's bimodality).  ``attention_probability``
+    models finite scanning budgets: a light scanner picks up only a subset
+    of new prefixes, which keeps source sets telescope-specific (the low
+    Jaccard similarities of §5.1).
+    """
+
+    def __init__(
+        self,
+        collectors: CollectorSystem,
+        profile: ProtocolProfile,
+        peak_rate: float = 200.0,
+        floor_rate: float = 5.0,
+        decay_tau: float = 15 * DAY,
+        reaction_delay: float = 6 * 3_600.0,
+        min_collectors: int = 1,
+        low_weight: float = 0.5,
+        attention_probability: float = 1.0,
+    ):
+        self.collectors = collectors
+        self.profile = profile
+        self.peak_rate = peak_rate
+        self.floor_rate = floor_rate
+        self.decay_tau = decay_tau
+        self.reaction_delay = reaction_delay
+        self.min_collectors = min_collectors
+        self.low_weight = low_weight
+        self.attention_probability = attention_probability
+        self._seen: set[IPv6Prefix] = set()
+
+    def poll(self, since: float, until: float,
+             rng: np.random.Generator) -> list[ProbeBatch]:
+        batches = []
+        for prefix, visible_at in self.collectors.new_prefixes(
+            since, until
+        ).items():
+            if prefix in self._seen:
+                continue
+            self._seen.add(prefix)
+            if self.collectors.visibility_count(prefix, until) < self.min_collectors:
+                continue
+            if rng.random() > self.attention_probability:
+                continue
+            start = visible_at + rng.exponential(self.reaction_delay)
+            batches.append(ProbeBatch(
+                trigger="bgp",
+                start=start,
+                sampler=prefix_sampler(prefix, self.profile,
+                                       low_weight=self.low_weight),
+                peak_rate=self.peak_rate * float(rng.uniform(0.5, 1.5)),
+                floor_rate=self.floor_rate,
+                decay_tau=self.decay_tau * float(rng.uniform(0.7, 1.3)),
+                subject_prefix=prefix,
+            ))
+        return batches
+
+    def withdrawn_prefixes(self, since: float, until: float) -> set[IPv6Prefix]:
+        """Prefixes withdrawn in the window (agents cancel their batches).
+
+        IPv6 scanners refresh their seeds frequently — the paper saw
+        scanning die within hours of a BGP retraction (§5.3.1).
+        """
+        gone = set()
+        for event in self.collectors.visible_updates(since, until):
+            if event.is_withdrawal:
+                gone.add(event.update.prefix)
+        return gone
+
+
+class ZoneFileWatcher(Strategy):
+    """Diffs TLD zone files, resolves new names, probes the AAAA targets.
+
+    ``TLD_WEIGHTS`` models monitoring popularity: far more scanners diff
+    the .com zone than .org/.net, which is why the paper's H_Com drew more
+    traffic than H_Org/net despite fewer names.
+    """
+
+    TLD_WEIGHTS = {"com": 1.0, "net": 0.55, "org": 0.45}
+
+    def __init__(
+        self,
+        new_names: Callable[[float, float], dict[str, float]],
+        resolver: Resolver,
+        peak_rate: float = 60.0,
+        floor_rate: float = 2.0,
+        decay_tau: float = 12 * DAY,
+        reaction_delay: float = 12 * 3_600.0,
+        probe_web: bool = True,
+        probe_surrounding: bool = False,
+        attention_probability: float = 1.0,
+        ping_ratio: int = 4,
+    ):
+        self.new_names = new_names
+        self.resolver = resolver
+        self.peak_rate = peak_rate
+        self.floor_rate = floor_rate
+        self.decay_tau = decay_tau
+        self.reaction_delay = reaction_delay
+        self.probe_web = probe_web
+        self.probe_surrounding = probe_surrounding
+        self.attention_probability = attention_probability
+        self.ping_ratio = max(1, ping_ratio)
+        self._seen: set[str] = set()
+
+    def _targets_for(self, addresses: Iterable[int]) -> list[ProbeTarget]:
+        targets = []
+        for addr in addresses:
+            # ICMP liveness checks outnumber service probes for most
+            # scanners (§5.2: ICMPv6 is 91.6% of all unsolicited traffic);
+            # service-focused scanners pass ping_ratio=1.
+            targets.extend([ProbeTarget(addr, ICMPV6)] * self.ping_ratio)
+            if self.probe_web:
+                for port in (80, 443):
+                    targets.append(ProbeTarget(addr, TCP, port))
+        return targets
+
+    def poll(self, since: float, until: float,
+             rng: np.random.Generator) -> list[ProbeBatch]:
+        batches = []
+        for name, published in self.new_names(since, until).items():
+            if name in self._seen:
+                continue
+            self._seen.add(name)
+            tld_weight = self.TLD_WEIGHTS.get(name.rsplit(".", 1)[-1], 0.5)
+            if rng.random() > self.attention_probability * tld_weight:
+                continue
+            addresses = self.resolver.resolve_aaaa(name, at=published)
+            if not addresses:
+                continue
+            targets = self._targets_for(addresses)
+            if self.probe_surrounding:
+                for addr in addresses:
+                    base = (addr >> 64) << 64
+                    targets.extend(
+                        ProbeTarget(base | int(rng.integers(1, 1 << 16)),
+                                    ICMPV6)
+                        for _ in range(4)
+                    )
+            start = published + rng.exponential(self.reaction_delay)
+            batches.append(ProbeBatch(
+                trigger="zonefile",
+                start=start,
+                sampler=address_list_sampler(targets),
+                peak_rate=self.peak_rate * float(rng.uniform(0.5, 1.5)),
+                floor_rate=self.floor_rate,
+                decay_tau=self.decay_tau,
+            ))
+        return batches
+
+
+class CtLogWatcher(Strategy):
+    """Subscribes to CT logs; reacts within seconds of certificate issuance.
+
+    The paper timed the first post-issuance scanner at 7 seconds — CT bots
+    stream the log, they do not poll daily.
+    """
+
+    #: Engagement multipliers by interaction level (dark, low, high):
+    #: scanners keep returning to full-stack services — the order-of-
+    #: magnitude amplification the paper measured on the T-Pot prefixes.
+    ENGAGEMENT_FACTORS = (0.3, 1.0, 12.0)
+
+    def __init__(
+        self,
+        ct_log: CtLog,
+        resolver: Resolver,
+        peak_rate: float = 150.0,
+        floor_rate: float = 3.0,
+        decay_tau: float = 20 * DAY,
+        reaction_delay: float = 30.0,
+        interaction_oracle=None,
+        ping_ratio: int = 4,
+    ):
+        self.ct_log = ct_log
+        self.resolver = resolver
+        self.peak_rate = peak_rate
+        self.floor_rate = floor_rate
+        self.decay_tau = decay_tau
+        self.reaction_delay = reaction_delay
+        self.interaction_oracle = interaction_oracle
+        self.ping_ratio = max(1, ping_ratio)
+        self._seen: set[str] = set()
+
+    def poll(self, since: float, until: float,
+             rng: np.random.Generator) -> list[ProbeBatch]:
+        batches = []
+        for name, logged_at in self.ct_log.names_between(since, until).items():
+            if name in self._seen:
+                continue
+            self._seen.add(name)
+            addresses = self.resolver.resolve_aaaa(name, at=logged_at)
+            if not addresses:
+                continue
+            targets = []
+            for addr in addresses:
+                targets.append(ProbeTarget(addr, TCP, 443))
+                targets.append(ProbeTarget(addr, TCP, 80))
+                # Liveness pings accompany (and usually outnumber) the
+                # service probes, per the overall ICMP dominance of §5.2.
+                targets.extend([ProbeTarget(addr, ICMPV6)] * self.ping_ratio)
+            factor = 1.0
+            if self.interaction_oracle is not None:
+                level = max(
+                    self.interaction_oracle(addr, logged_at)
+                    for addr in addresses
+                )
+                factor = self.ENGAGEMENT_FACTORS[level]
+            start = logged_at + float(rng.exponential(self.reaction_delay))
+            batches.append(ProbeBatch(
+                trigger="ctlog",
+                start=start,
+                sampler=address_list_sampler(targets),
+                peak_rate=self.peak_rate * factor * float(
+                    rng.uniform(0.5, 1.5)
+                ),
+                floor_rate=self.floor_rate * factor,
+                decay_tau=self.decay_tau,
+            ))
+        return batches
+
+
+class HitlistConsumer(Strategy):
+    """Downloads hitlist publications and probes entries per category.
+
+    Entry probing is weighted: ICMP-list entries are liveness checks and get
+    pinged far more often than service entries, and entries fronting
+    high-interaction services (per the ``interaction_oracle``) soak up
+    disproportionate attention — together these produce the paper's
+    H_UDP (manual ICMP entry, Δ=112k pkts/day) and T-Pot hitlist-trigger
+    effects.
+    """
+
+    #: Repetition weight of an ICMP entry relative to a service entry.
+    #: ICMP liveness lists are re-probed constantly — this is what makes
+    #: the manually hitlisted H_UDP address the second-largest effect in
+    #: Table 4 (112k packets/day, an order over the domain prefixes).
+    ICMP_WEIGHT = 12
+    #: Extra weight multiplier per interaction level (dark, low, high).
+    ENGAGEMENT_WEIGHTS = (1, 2, 10)
+
+    def __init__(
+        self,
+        hitlist: HitlistService,
+        peak_rate: float = 120.0,
+        floor_rate: float = 10.0,
+        decay_tau: float = 25 * DAY,
+        reaction_delay: float = 2 * DAY,
+        categories: tuple[HitlistCategory, ...] | None = None,
+        alias_probe_rate: float = 300.0,
+        interaction_oracle=None,
+        icmp_weight: int | None = None,
+    ):
+        self.hitlist = hitlist
+        self.peak_rate = peak_rate
+        self.floor_rate = floor_rate
+        self.decay_tau = decay_tau
+        self.reaction_delay = reaction_delay
+        self.categories = categories
+        self.alias_probe_rate = alias_probe_rate
+        self.interaction_oracle = interaction_oracle
+        self.icmp_weight = self.ICMP_WEIGHT if icmp_weight is None else max(
+            1, icmp_weight
+        )
+        #: Aliased prefixes already being probed (one batch per prefix).
+        self._seen_aliased: set[IPv6Prefix] = set()
+        self._current_batch: ProbeBatch | None = None
+
+    _CATEGORY_PROBES = {
+        HitlistCategory.ICMP: (ICMPV6, 0),
+        HitlistCategory.TCP80: (TCP, 80),
+        HitlistCategory.TCP443: (TCP, 443),
+        HitlistCategory.UDP53: (UDP, 53),
+    }
+
+    @classmethod
+    def _target_for(cls, entry) -> ProbeTarget | None:
+        probe = cls._CATEGORY_PROBES.get(entry.category)
+        if probe is None:
+            return None
+        return ProbeTarget(entry.address, probe[0], probe[1])
+
+    def _rebuild_targets(self, at: float) -> list[ProbeTarget]:
+        """Build the weighted target list from the current hitlist snapshot.
+
+        A real consumer downloads the whole published list each time, so
+        delisted addresses (removed entries) drop out here — the mechanism
+        by which scanning dies within hours-to-days of a BGP retraction.
+        """
+        snapshot = self.hitlist.snapshot_at(at)
+        targets: list[ProbeTarget] = []
+        for category, (proto, port) in self._CATEGORY_PROBES.items():
+            if self.categories and category not in self.categories:
+                continue
+            for addr in snapshot.addresses.get(category, ()):
+                weight = (self.icmp_weight
+                          if category is HitlistCategory.ICMP else 1)
+                if self.interaction_oracle is not None:
+                    weight *= self.ENGAGEMENT_WEIGHTS[
+                        self.interaction_oracle(addr, at)
+                    ]
+                targets.extend([ProbeTarget(addr, proto, port)] * weight)
+        return targets
+
+    def poll(self, since: float, until: float,
+             rng: np.random.Generator) -> list[ProbeBatch]:
+        batches = []
+        changed = False
+        first_published = None
+        for entry in self.hitlist.entries_between(since, until):
+            if self.categories and entry.category not in self.categories:
+                continue
+            if entry.category is HitlistCategory.ALIASED:
+                if entry.prefix in self._seen_aliased:
+                    continue
+                self._seen_aliased.add(entry.prefix)
+                profile = ProtocolProfile(icmp_weight=1.0)
+                start = entry.published_at + rng.exponential(
+                    self.reaction_delay
+                )
+                batches.append(ProbeBatch(
+                    trigger="hitlist",
+                    start=start,
+                    sampler=prefix_sampler(entry.prefix, profile,
+                                           low_weight=0.5),
+                    peak_rate=self.alias_probe_rate * float(
+                        rng.uniform(0.5, 1.5)
+                    ),
+                    floor_rate=self.floor_rate,
+                    decay_tau=self.decay_tau,
+                    subject_prefix=entry.prefix,
+                ))
+                continue
+            if entry.address is not None:
+                changed = True
+                if first_published is None and not entry.removed:
+                    first_published = entry.published_at
+        if changed:
+            # A new hitlist download replaces the previous target list; the
+            # spend scales with the (weighted) list so hot new entries add
+            # traffic instead of diluting existing targets.
+            if self._current_batch is not None:
+                self._current_batch.cancel(until)
+            targets = self._rebuild_targets(until)
+            if not targets:
+                return batches
+            start = (first_published if first_published is not None
+                     else until) + float(rng.exponential(self.reaction_delay))
+            budget = max(1.0, len(targets) / 40.0)
+            self._current_batch = ProbeBatch(
+                trigger="hitlist",
+                start=start,
+                sampler=address_list_sampler(targets),
+                peak_rate=self.peak_rate * budget * float(
+                    rng.uniform(0.5, 1.5)
+                ),
+                floor_rate=self.floor_rate * budget,
+                decay_tau=self.decay_tau,
+            )
+            batches.append(self._current_batch)
+        return batches
+
+
+class RdnsWalkerStrategy(Strategy):
+    """Walks ip6.arpa under watched prefixes, probing discovered PTR hosts."""
+
+    def __init__(
+        self,
+        reverse_zone: ReverseZone,
+        watched: list[IPv6Prefix],
+        peak_rate: float = 40.0,
+        floor_rate: float = 1.0,
+        decay_tau: float = 10 * DAY,
+        walk_period: float = 7 * DAY,
+    ):
+        self.reverse_zone = reverse_zone
+        self.watched = watched
+        self.peak_rate = peak_rate
+        self.floor_rate = floor_rate
+        self.decay_tau = decay_tau
+        self.walk_period = walk_period
+        self._known: set[int] = set()
+        self._last_walk = -np.inf
+
+    def poll(self, since: float, until: float,
+             rng: np.random.Generator) -> list[ProbeBatch]:
+        if until - self._last_walk < self.walk_period:
+            return []
+        self._last_walk = until
+        fresh: list[int] = []
+        for prefix in self.watched:
+            for addr in self.reverse_zone.walk(prefix.network, prefix.length,
+                                               at=until):
+                if addr not in self._known:
+                    self._known.add(addr)
+                    fresh.append(addr)
+        if not fresh:
+            return []
+        targets = [ProbeTarget(a, ICMPV6) for a in fresh]
+        targets += [ProbeTarget(a, TCP, 22) for a in fresh]
+        return [ProbeBatch(
+            trigger="rdns",
+            start=until,
+            sampler=address_list_sampler(targets),
+            peak_rate=self.peak_rate,
+            floor_rate=self.floor_rate,
+            decay_tau=self.decay_tau,
+        )]
+
+
+class AmbientScanner(Strategy):
+    """Steady background probing of a long-known prefix.
+
+    Models scanners that discovered a network long before the measurement
+    window (NT-B's and NT-C's covering prefixes are old, stable routes that
+    no BGP-diff watcher would flag).  Emits a single constant-rate batch
+    starting at ``start``.
+    """
+
+    def __init__(
+        self,
+        prefix: IPv6Prefix,
+        profile: ProtocolProfile,
+        rate: float,
+        start: float = 0.0,
+        low_weight: float = 0.5,
+        duration: float = 10 * 365 * DAY,
+    ):
+        self.prefix = prefix
+        self.profile = profile
+        self.rate = rate
+        self.start = start
+        self.low_weight = low_weight
+        self.duration = duration
+        self._emitted = False
+
+    def poll(self, since: float, until: float,
+             rng: np.random.Generator) -> list[ProbeBatch]:
+        if self._emitted or until < self.start:
+            return []
+        self._emitted = True
+        return [ProbeBatch(
+            trigger="ambient",
+            start=self.start,
+            sampler=prefix_sampler(self.prefix, self.profile,
+                                   low_weight=self.low_weight),
+            peak_rate=self.rate,
+            floor_rate=self.rate,
+            decay_tau=365 * DAY,
+            duration=self.duration,
+            subject_prefix=self.prefix,
+        )]
+
+
+class CoveringSweeper(Strategy):
+    """A rare wide scanner sweeping every /48 of a covering prefix.
+
+    The paper found 55 of 191k sources scanning beyond the honeyprefix
+    scope, one of them hitting 61.5k of 65k /48s; the resulting
+    non-honeyprefix traffic (1.6% of the total) skewed toward the first
+    16 /48s.  ``low_bias`` reproduces that skew.
+    """
+
+    def __init__(
+        self,
+        covering_prefix: IPv6Prefix,
+        profile: ProtocolProfile,
+        rate: float,
+        start: float = 0.0,
+        low_bias: float = 0.5,
+    ):
+        self.covering_prefix = covering_prefix
+        self.profile = profile
+        self.rate = rate
+        self.start = start
+        self.low_bias = low_bias
+        self._emitted = False
+
+    def _sampler(self) -> TargetSampler:
+        prefix = self.covering_prefix
+        profile = self.profile
+        low_bias = self.low_bias
+        n48 = 1 << (48 - prefix.length)
+
+        def sample(rng: np.random.Generator, n: int) -> list[ProbeTarget]:
+            out = []
+            for _ in range(n):
+                if rng.random() < low_bias:
+                    idx = int(rng.integers(min(16, n48)))
+                else:
+                    idx = int(rng.integers(n48))
+                addr = (prefix.network
+                        | (idx << 80)
+                        | int(rng.integers(1, 1 << 16)))
+                out.append(profile.sample(rng, addr))
+            return out
+
+        return sample
+
+    def poll(self, since: float, until: float,
+             rng: np.random.Generator) -> list[ProbeBatch]:
+        if self._emitted or until < self.start:
+            return []
+        self._emitted = True
+        return [ProbeBatch(
+            trigger="sweep",
+            start=self.start,
+            sampler=self._sampler(),
+            peak_rate=self.rate,
+            floor_rate=self.rate,
+            decay_tau=365 * DAY,
+            duration=10 * 365 * DAY,
+        )]

@@ -1,0 +1,169 @@
+"""TGA evaluation harness ("Target Acquired?"-style, Steger et al. TMA'23).
+
+Runs multiple target-generation algorithms against the same seed set and
+responsiveness oracle with the same probe budget, and reports the metrics
+the TGA-evaluation literature uses: hit rate, unique discoveries,
+seed-overlap (did the TGA merely regurgitate its seeds?), and pairwise
+discovery overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import make_rng
+from repro.scanners.entropy_tga import EntropyTga
+from repro.scanners.tga import mine_patterns
+from repro.scanners.tga6tree import SixTreeResult, SixTreeRound, SixTreeTga
+
+
+@dataclass(frozen=True)
+class TgaScore:
+    """One algorithm's evaluation row."""
+
+    name: str
+    probes: int
+    discovered: int
+    hit_rate: float
+    #: Fraction of discoveries that were already seeds.
+    seed_regurgitation: float
+    new_discoveries: int
+
+
+@dataclass
+class TgaEvaluation:
+    """Full shootout result."""
+
+    scores: list[TgaScore]
+    #: pairwise Jaccard of (non-seed) discovery sets.
+    overlap: dict[tuple[str, str], float]
+
+    def score(self, name: str) -> TgaScore:
+        for row in self.scores:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def render(self) -> str:
+        lines = ["TGA shootout"]
+        lines.append(f"  {'algorithm':16s} {'probes':>7s} {'found':>6s} "
+                     f"{'hit rate':>9s} {'new':>6s} {'regurg.':>8s}")
+        for row in self.scores:
+            lines.append(
+                f"  {row.name:16s} {row.probes:7d} {row.discovered:6d} "
+                f"{row.hit_rate:9.2%} {row.new_discoveries:6d} "
+                f"{row.seed_regurgitation:8.1%}"
+            )
+        for (a, b), value in self.overlap.items():
+            lines.append(f"  overlap({a}, {b}) = {value:.2f}")
+        return "\n".join(lines)
+
+
+class _RandomBaseline:
+    """Uniform random addresses within the seeds' covering /32s — the
+    brute-force strawman every TGA paper compares against."""
+
+    def __init__(self, seeds: list[int],
+                 rng: np.random.Generator | int | None = 0):
+        self._rng = make_rng(rng)
+        self._networks = sorted({(s >> 96) << 96 for s in seeds})
+
+    def run(self, oracle, budget: int, at: float = 0.0) -> SixTreeResult:
+        result = SixTreeResult()
+        hits = 0
+        for _ in range(budget):
+            network = self._networks[
+                int(self._rng.integers(len(self._networks)))
+            ]
+            low = int(self._rng.integers(0, 1 << 63))
+            high = int(self._rng.integers(0, 1 << 33))
+            candidate = network | (high << 63) | low
+            result.probes_sent += 1
+            if oracle(candidate, at):
+                hits += 1
+                result.discovered.add(candidate)
+        result.rounds.append(SixTreeRound(0, budget, hits,
+                                          len(result.discovered), 1))
+        return result
+
+
+class _PatternBaseline:
+    """The ecosystem's blind pattern miner, harness-wrapped."""
+
+    def __init__(self, seeds: list[int],
+                 rng: np.random.Generator | int | None = 0,
+                 group_length: int = 48):
+        self._rng = make_rng(rng)
+        self._patterns = mine_patterns(sorted(set(seeds)), group_length)
+
+    def run(self, oracle, budget: int, at: float = 0.0) -> SixTreeResult:
+        result = SixTreeResult()
+        hits = 0
+        for _ in range(budget):
+            pattern = self._patterns[
+                int(self._rng.integers(len(self._patterns)))
+            ]
+            candidate = pattern.generate(self._rng, 1)[0]
+            result.probes_sent += 1
+            if oracle(candidate, at):
+                hits += 1
+                result.discovered.add(candidate)
+        result.rounds.append(SixTreeRound(0, budget, hits,
+                                          len(result.discovered), 1))
+        return result
+
+
+def evaluate_tgas(
+    seeds: list[int],
+    oracle,
+    budget: int = 2_000,
+    at: float = 0.0,
+    rng: np.random.Generator | int | None = 0,
+    algorithms: dict | None = None,
+) -> TgaEvaluation:
+    """Run the shootout.
+
+    ``oracle(address, at) -> bool``.  Pass ``algorithms`` to override the
+    default roster (name -> object with ``run(oracle, budget, at)``).
+    """
+    root = make_rng(rng)
+    seeds = sorted(set(seeds))
+    if algorithms is None:
+        seed_ints = [int(s) for s in root.integers(0, 2**31, size=4)]
+        algorithms = {
+            "random": _RandomBaseline(seeds, rng=seed_ints[0]),
+            "pattern": _PatternBaseline(seeds, rng=seed_ints[1]),
+            "entropy": EntropyTga(seeds, rng=seed_ints[2]),
+            "6tree": SixTreeTga(seeds, rng=seed_ints[3]),
+        }
+    seed_set = set(seeds)
+    scores = []
+    discoveries: dict[str, set[int]] = {}
+    for name, algorithm in algorithms.items():
+        result = algorithm.run(oracle, budget, at)
+        new = result.discovered - seed_set
+        discoveries[name] = new
+        regurgitation = (
+            len(result.discovered & seed_set) / len(result.discovered)
+            if result.discovered else 0.0
+        )
+        scores.append(TgaScore(
+            name=name,
+            probes=result.probes_sent,
+            discovered=len(result.discovered),
+            hit_rate=result.hit_rate,
+            seed_regurgitation=regurgitation,
+            new_discoveries=len(new),
+        ))
+    overlap = {}
+    names = list(discoveries)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            union = discoveries[a] | discoveries[b]
+            overlap[(a, b)] = (
+                len(discoveries[a] & discoveries[b]) / len(union)
+                if union else 0.0
+            )
+    return TgaEvaluation(scores=scores, overlap=overlap)

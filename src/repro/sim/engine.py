@@ -1,0 +1,83 @@
+"""Discrete-event engine.
+
+A classic heap scheduler: events carry a firing time and a callback.  The
+scenario layer schedules deployment actions (BGP announcements, TLS
+issuance, hitlist insertion, withdrawals) and the daily simulation loop as
+events; running the engine advances the clock monotonically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.  Ordering is (time, sequence)."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class Engine:
+    """Heap-based discrete-event scheduler."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = start_time
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.processed = 0
+
+    def schedule(self, time: float, action: Callable[[], None],
+                 label: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        event = Event(time=time, seq=next(self._seq), action=action,
+                      label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, action: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule ``action`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative: {delay}")
+        return self.schedule(self.now + delay, action, label)
+
+    def peek_time(self) -> float | None:
+        """The next event's time, or None when the queue is empty."""
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> Event | None:
+        """Run the next event; returns it (or None when done)."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        event.action()
+        self.processed += 1
+        return event
+
+    def run_until(self, end_time: float) -> int:
+        """Run all events with time <= end_time; returns the count run."""
+        n = 0
+        while self._queue and self._queue[0].time <= end_time:
+            self.step()
+            n += 1
+        self.now = max(self.now, end_time)
+        return n
+
+    def run(self) -> int:
+        """Run to queue exhaustion; returns the count run."""
+        n = 0
+        while self.step() is not None:
+            n += 1
+        return n

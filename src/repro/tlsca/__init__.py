@@ -1,0 +1,25 @@
+"""TLS certificate substrate: ACME DNS-01 issuance, the CA, and CT logs.
+
+The telescope's third attraction channel: TLS certificates issued for
+domain/subdomain names land in public Certificate Transparency logs within
+seconds, and CT-watching scanners (Kondracki et al.'s "CT bots") resolve
+the SAN names and probe the addresses.  The paper observed the first scanner
+7 seconds after issuance.  Let's Encrypt's weekly rate limit — the reason
+only 50 subdomains got certificates — is modeled on the CA.
+"""
+
+from repro.tlsca.cert import Certificate
+from repro.tlsca.ctlog import CtLog, CtEntry
+from repro.tlsca.ca import CertificateAuthority, RateLimitExceeded
+from repro.tlsca.acme import AcmeClient, AcmeOrder, ChallengeFailed
+
+__all__ = [
+    "Certificate",
+    "CtLog",
+    "CtEntry",
+    "CertificateAuthority",
+    "RateLimitExceeded",
+    "AcmeClient",
+    "AcmeOrder",
+    "ChallengeFailed",
+]

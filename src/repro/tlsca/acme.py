@@ -1,0 +1,112 @@
+"""ACME client with the DNS-01 challenge flow.
+
+The paper could not use HTTP-01 (the honeypots are not real web servers), so
+it used DNS-01 via a customized certbot plugin that drives the registrar's
+API to insert the required ``_acme-challenge`` TXT records.  This module
+models that flow end to end: order -> challenge token -> TXT insertion ->
+CA validation (resolving through the simulated DNS) -> issuance -> cleanup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.dns.records import RRType, validate_name
+from repro.dns.registry import Registrar
+from repro.dns.resolver import Resolver
+from repro.tlsca.ca import CertificateAuthority
+from repro.tlsca.cert import Certificate
+
+
+class ChallengeFailed(Exception):
+    """Raised when DNS-01 validation does not find the expected TXT record."""
+
+
+@dataclass
+class AcmeOrder:
+    """An in-flight ACME order for a set of names."""
+
+    names: list[str]
+    created_at: float
+    tokens: dict[str, str] = field(default_factory=dict)
+    certificate: Certificate | None = None
+
+    @property
+    def fulfilled(self) -> bool:
+        return self.certificate is not None
+
+
+def _challenge_token(name: str, serial: int) -> str:
+    """Deterministic per-order token (real ACME tokens are random nonces)."""
+    return hashlib.sha256(f"{name}:{serial}".encode()).hexdigest()[:32]
+
+
+class AcmeClient:
+    """Drives DNS-01 issuance against a CA using the registrar's DNS API."""
+
+    def __init__(
+        self,
+        ca: CertificateAuthority,
+        registrar: Registrar,
+        resolver: Resolver,
+        validation_delay: float = 5.0,
+    ):
+        self.ca = ca
+        self.registrar = registrar
+        self.resolver = resolver
+        self.validation_delay = validation_delay
+        self._order_serial = 0
+        self.orders: list[AcmeOrder] = []
+
+    def new_order(self, names: list[str], at: float) -> AcmeOrder:
+        """Create an order and its per-name challenge tokens."""
+        names = [validate_name(n) for n in names]
+        if not names:
+            raise ValueError("order must cover at least one name")
+        self._order_serial += 1
+        order = AcmeOrder(names=names, created_at=at)
+        for name in names:
+            order.tokens[name] = _challenge_token(name, self._order_serial)
+        self.orders.append(order)
+        return order
+
+    def install_challenges(self, order: AcmeOrder, at: float) -> None:
+        """Insert the ``_acme-challenge`` TXT records via the registrar API."""
+        for name, token in order.tokens.items():
+            self.registrar.set_txt(f"_acme-challenge.{name}", token, at=at)
+
+    def validate_and_issue(self, order: AcmeOrder, at: float) -> Certificate:
+        """CA-side validation: resolve each TXT record, then issue.
+
+        Raises :class:`ChallengeFailed` when any name's TXT record is absent
+        or carries the wrong token, and cleans challenges up afterwards in
+        either case.
+        """
+        try:
+            for name, token in order.tokens.items():
+                records = self.resolver.resolve(
+                    f"_acme-challenge.{name}", RRType.TXT, at
+                )
+                if not any(r.value == token for r in records):
+                    raise ChallengeFailed(
+                        f"DNS-01 validation failed for {name!r} at t={at}"
+                    )
+            order.certificate = self.ca.issue(order.names, at)
+            return order.certificate
+        finally:
+            for name in order.tokens:
+                try:
+                    self.registrar.remove_txt(f"_acme-challenge.{name}")
+                except KeyError:
+                    pass
+
+    def obtain(self, names: list[str], at: float) -> Certificate:
+        """One-shot convenience: order, install TXT, validate, issue.
+
+        Validation happens ``validation_delay`` seconds after the order is
+        placed (TXT propagation plus CA processing).
+        """
+        order = self.new_order(names, at)
+        self.install_challenges(order, at)
+        return self.validate_and_issue(order, at + self.validation_delay)

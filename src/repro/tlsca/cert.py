@@ -1,0 +1,42 @@
+"""Certificate objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import DAY
+from repro.dns.records import validate_name
+
+#: Let's Encrypt certificates are valid for 90 days.
+DEFAULT_VALIDITY = 90 * DAY
+
+
+@dataclass(frozen=True, slots=True)
+class Certificate:
+    """A leaf certificate: subject names, issuer, validity window."""
+
+    serial: int
+    names: tuple[str, ...]
+    issuer: str
+    not_before: float
+    not_after: float
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ValueError("certificate must cover at least one name")
+        object.__setattr__(
+            self, "names", tuple(validate_name(n) for n in self.names)
+        )
+        if self.not_after <= self.not_before:
+            raise ValueError("certificate validity window is empty")
+
+    @property
+    def subject(self) -> str:
+        """The primary subject name (first SAN)."""
+        return self.names[0]
+
+    def valid_at(self, at: float) -> bool:
+        return self.not_before <= at < self.not_after
+
+    def covers(self, name: str) -> bool:
+        return validate_name(name) in self.names

@@ -1,0 +1,106 @@
+"""Tests for address-structure analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.addrpatterns import (
+    AddressProfile,
+    IidClass,
+    classify_iid,
+    nibble_entropy_profile,
+    profile_addresses,
+)
+from repro.net.addr import MAX_ADDRESS, parse_address
+
+
+class TestClassifyIid:
+    def test_low_byte(self):
+        assert classify_iid(parse_address("2001:db8::1")) is IidClass.LOW_BYTE
+        assert classify_iid(parse_address("2001:db8::2a")) is IidClass.LOW_BYTE
+
+    def test_embedded_port(self):
+        assert classify_iid(parse_address("2001:db8::443")) is \
+            IidClass.EMBEDDED_PORT
+        assert classify_iid(parse_address("2001:db8::50")) is \
+            IidClass.EMBEDDED_PORT  # 0x50 == 80
+
+    def test_eui64(self):
+        addr = parse_address("2001:db8::0211:22ff:fe33:4455")
+        assert classify_iid(addr) is IidClass.EUI64
+
+    def test_embedded_ipv4(self):
+        # ::c0a8:0101 (192.168.1.1 in hex nibbles).
+        addr = parse_address("2001:db8::c0a8:101")
+        assert classify_iid(addr) is IidClass.EMBEDDED_IPV4
+
+    def test_pattern_bytes(self):
+        addr = parse_address("2001:db8::aaaa:aaaa:aaaa:aaaa")
+        assert classify_iid(addr) is IidClass.PATTERN_BYTES
+
+    def test_random(self, rng):
+        # Privacy addresses: essentially all classified random.
+        hits = 0
+        for _ in range(50):
+            iid = int(rng.integers(1 << 62)) | (1 << 63)
+            if classify_iid((0x20010DB8 << 96) | iid) is IidClass.RANDOM:
+                hits += 1
+        assert hits > 40
+
+
+class TestProfile:
+    def test_mixed_profile(self):
+        addresses = (
+            [parse_address(f"2001:db8::{i:x}") for i in range(1, 11)]
+            + [parse_address("2001:db8::1234:5678:9abc:def0")] * 5
+        )
+        profile = profile_addresses(addresses)
+        assert profile.total == 15
+        assert profile.share(IidClass.LOW_BYTE) == pytest.approx(10 / 15)
+        assert profile.dominant is IidClass.LOW_BYTE
+        assert "low_byte" in profile.render()
+
+    def test_empty(self):
+        profile = profile_addresses([])
+        assert profile.total == 0
+        assert profile.share(IidClass.RANDOM) == 0.0
+        assert profile.mean_iid_entropy == 0.0
+
+    def test_entropy_reflects_randomness(self, rng):
+        low = profile_addresses([parse_address("2001:db8::1")] * 3)
+        high = profile_addresses([
+            (0x20010DB8 << 96) | int(rng.integers(1 << 63, dtype=np.int64))
+            for _ in range(20)
+        ])
+        assert high.mean_iid_entropy > low.mean_iid_entropy
+
+
+class TestNibbleEntropy:
+    def test_identical_addresses_zero_entropy(self):
+        profile = nibble_entropy_profile([parse_address("2001:db8::1")] * 5)
+        assert np.allclose(profile, 0.0)
+
+    def test_varying_position_detected(self):
+        addresses = [parse_address(f"2001:db8::{i:x}") for i in range(16)]
+        profile = nibble_entropy_profile(addresses)
+        assert profile[31] == pytest.approx(4.0)   # last nibble: 16 values
+        assert profile[0] == 0.0                   # first nibble fixed
+
+    def test_empty(self):
+        assert nibble_entropy_profile([]).shape == (32,)
+
+    @given(st.lists(st.integers(min_value=0, max_value=MAX_ADDRESS),
+                    min_size=1, max_size=20))
+    def test_entropy_bounds(self, addresses):
+        profile = nibble_entropy_profile(addresses)
+        assert np.all(profile >= 0.0) and np.all(profile <= 4.0)
+
+
+class TestScenarioIntegration:
+    def test_scanner_targets_profiled(self, small_result):
+        """Destination structure reflects the scanners' targeting mix:
+        low-byte sweeps plus random TGA exploration."""
+        dests = list(small_result.nta.destination_set(128))
+        profile = profile_addresses(dests[:5000])
+        assert profile.share(IidClass.LOW_BYTE) > 0.05
+        assert profile.share(IidClass.RANDOM) > 0.05

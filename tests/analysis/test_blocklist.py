@@ -1,0 +1,89 @@
+"""Tests for blocklist recommendations."""
+
+import pytest
+
+from repro.analysis.blocklist import (
+    _covering_prefixes,
+    recommend_blocklist,
+    render_blocklist,
+)
+from repro.analysis.asinfo import MetadataJoiner
+from repro.analysis.records import PacketRecords
+from repro.datasets.asdb import AsCategory, AsDatabase, AsRecord
+from repro.datasets.geodb import GeoDatabase
+from repro.datasets.prefix2as import Prefix2As
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import icmp_echo_request
+
+STABLE_PREFIX = IPv6Prefix.parse("2620:1::/32")
+ROTATING_PREFIX = IPv6Prefix.parse("2a0e:5c00::/30")
+
+
+@pytest.fixture
+def joiner():
+    p2a = Prefix2As()
+    p2a.add(STABLE_PREFIX, 111)
+    p2a.add(ROTATING_PREFIX, 222)
+    db = AsDatabase(misclassification_rate=0.0)
+    db.register(AsRecord(111, "STABLE", AsCategory.HOSTING_CLOUD, "US"))
+    db.register(AsRecord(222, "ROTATOR", AsCategory.INTERNET_SCANNER, "DE"))
+    return MetadataJoiner(p2a, db, GeoDatabase())
+
+
+def _records(rng):
+    pkts = []
+    # Stable scanner: one address, many packets.
+    stable = STABLE_PREFIX.network | 7
+    pkts += [icmp_echo_request(float(i), stable, i) for i in range(50)]
+    # Rotator: a fresh address per packet across the /30.
+    for i in range(50):
+        src = ROTATING_PREFIX.random_address(rng).value
+        pkts.append(icmp_echo_request(100.0 + i, src, i))
+    return PacketRecords.from_packets(pkts)
+
+
+class TestCoveringPrefixes:
+    def test_single_source(self):
+        (prefix,) = _covering_prefixes([42], max_entries=16)
+        assert prefix.length == 128 and prefix.network == 42
+
+    def test_spread_forces_coarser(self):
+        sources = [i << 64 for i in range(100)]  # 100 distinct /64s
+        prefixes = _covering_prefixes(sources, max_entries=16)
+        assert prefixes[0].length < 64
+        assert all(any(s in p for p in prefixes) for s in sources)
+
+    def test_clustered_stays_narrow(self):
+        base = STABLE_PREFIX.network
+        sources = [base | i for i in range(10)]
+        prefixes = _covering_prefixes(sources, max_entries=16)
+        assert prefixes[0].length == 128
+        assert len(prefixes) == 10
+
+
+class TestRecommend:
+    def test_granularity_tracks_rotation(self, joiner, rng):
+        records = _records(rng)
+        entries = {e.as_name: e
+                   for e in recommend_blocklist(records, joiner)}
+        assert entries["STABLE"].granularity == 128
+        assert entries["STABLE"].overreach_bits == 0.0
+        assert entries["ROTATOR"].granularity < 64
+        assert entries["ROTATOR"].overreach_bits > 16
+
+    def test_min_packets_filter(self, joiner, rng):
+        records = _records(rng)
+        assert recommend_blocklist(records, joiner, min_packets=60) == []
+
+    def test_sorted_by_volume(self, joiner, rng):
+        entries = recommend_blocklist(_records(rng), joiner)
+        packets = [e.packets for e in entries]
+        assert packets == sorted(packets, reverse=True)
+
+    def test_empty(self, joiner):
+        assert recommend_blocklist(PacketRecords.empty(), joiner) == []
+
+    def test_render(self, joiner, rng):
+        text = render_blocklist(recommend_blocklist(_records(rng), joiner))
+        assert "STABLE" in text and "ROTATOR" in text
+        assert "HIGH" in text or "medium" in text

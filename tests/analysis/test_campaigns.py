@@ -1,0 +1,121 @@
+"""Tests for scan-campaign clustering."""
+
+import numpy as np
+import pytest
+
+from repro._util import DAY, HOUR
+from repro.analysis.campaigns import Campaign, campaign_summary, cluster_campaigns
+from repro.analysis.records import PacketRecords
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import icmp_echo_request, tcp_segment, TcpFlags
+
+SRC = IPv6Prefix.parse("2620:1::/48").network | 1
+OTHER = IPv6Prefix.parse("2620:2::/48").network | 1
+
+
+def _burst(src, start, n=120, dst_base=1 << 80):
+    return [icmp_echo_request(start + i, src, dst_base + i)
+            for i in range(n)]
+
+
+class TestClustering:
+    def test_gap_merges_and_splits(self):
+        pkts = (_burst(SRC, 0.0)
+                + _burst(SRC, 1 * DAY, dst_base=2 << 80)
+                + _burst(SRC, 30 * DAY, dst_base=3 << 80))
+        records = PacketRecords.from_packets(pkts)
+        campaigns = cluster_campaigns(records, max_gap=3 * DAY,
+                                      min_targets=100)
+        assert len(campaigns) == 2
+        long_campaign = max(campaigns, key=lambda c: c.sessions)
+        assert long_campaign.sessions == 2
+        assert long_campaign.packets == 240
+
+    def test_sources_kept_apart(self):
+        pkts = _burst(SRC, 0.0) + _burst(OTHER, 0.0, dst_base=2 << 80)
+        campaigns = cluster_campaigns(PacketRecords.from_packets(pkts),
+                                      min_targets=100)
+        assert len(campaigns) == 2
+        assert {c.source for c in campaigns} == {
+            SRC & ~((1 << 80) - 1), OTHER & ~((1 << 80) - 1)
+        }
+
+    def test_below_threshold_no_campaign(self):
+        campaigns = cluster_campaigns(
+            PacketRecords.from_packets(_burst(SRC, 0.0, n=50)),
+            min_targets=100,
+        )
+        assert campaigns == []
+
+    def test_sorted_by_volume(self):
+        pkts = (_burst(SRC, 0.0, n=120)
+                + _burst(OTHER, 0.0, n=300, dst_base=2 << 80))
+        campaigns = cluster_campaigns(PacketRecords.from_packets(pkts),
+                                      min_targets=100)
+        assert campaigns[0].packets >= campaigns[1].packets
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            cluster_campaigns(PacketRecords.empty(), max_gap=0.0)
+
+
+class TestFingerprint:
+    def test_protocol_mix(self):
+        pkts = _burst(SRC, 0.0, n=90) + [
+            tcp_segment(200.0 + i, SRC, (1 << 80) + 1000 + i, 4000, 80,
+                        TcpFlags.SYN)
+            for i in range(30)
+        ]
+        (campaign,) = cluster_campaigns(PacketRecords.from_packets(pkts),
+                                        min_targets=100)
+        assert campaign.protocol_mix["icmpv6"] == pytest.approx(0.75)
+        assert campaign.dominant_protocol == "icmpv6"
+
+    def test_low_address_style(self):
+        # All targets at tiny host offsets -> low-address sweep.
+        pkts = [icmp_echo_request(float(i), SRC, ((i % 20) << 64) | (i % 50))
+                for i in range(200)]
+        (campaign,) = cluster_campaigns(PacketRecords.from_packets(pkts),
+                                        min_targets=100)
+        assert campaign.low_address_fraction > 0.9
+        assert campaign.targeting_style == "low-address sweep"
+
+    def test_exploration_style(self, rng):
+        # Unique random high targets -> exploration.
+        pkts = [
+            icmp_echo_request(
+                float(i), SRC,
+                (1 << 80) | (1 << 32) | int(rng.integers(1 << 30, 1 << 62)),
+            )
+            for i in range(200)
+        ]
+        (campaign,) = cluster_campaigns(PacketRecords.from_packets(pkts),
+                                        min_targets=100)
+        assert campaign.targeting_style == "exploration (TGA-like)"
+
+    def test_prefix_footprint(self):
+        pkts = (_burst(SRC, 0.0, dst_base=1 << 80)
+                + _burst(SRC, HOUR * 0.5, dst_base=2 << 80))
+        (campaign,) = cluster_campaigns(PacketRecords.from_packets(pkts),
+                                        min_targets=100)
+        assert campaign.prefixes_48 == 2
+
+
+class TestSummary:
+    def test_render(self):
+        campaigns = cluster_campaigns(
+            PacketRecords.from_packets(_burst(SRC, 0.0)), min_targets=100,
+        )
+        text = campaign_summary(campaigns)
+        assert "scan campaigns (1 total)" in text
+        assert "styles:" in text
+
+
+class TestIntegration:
+    def test_campaigns_from_scenario(self, small_result):
+        campaigns = cluster_campaigns(small_result.nta, min_targets=50)
+        assert campaigns
+        # CERNET-style exploration shows up among the big campaigns.
+        styles = {c.targeting_style for c in campaigns[:5]}
+        assert styles & {"exploration (TGA-like)", "mixed",
+                         "low-address sweep"}

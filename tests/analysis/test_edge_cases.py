@@ -1,0 +1,99 @@
+"""Edge-case coverage across the analysis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.asinfo import MetadataJoiner
+from repro.analysis.effects import pointwise_effect_matrix
+from repro.analysis.jaccard import overlap_report
+from repro.analysis.records import PacketRecords
+from repro.datasets.asdb import AsDatabase
+from repro.datasets.geodb import GeoDatabase
+from repro.datasets.prefix2as import Prefix2As
+from repro.net.packet import icmp_echo_request
+
+
+@pytest.fixture
+def empty_joiner():
+    return MetadataJoiner(Prefix2As(), AsDatabase(), GeoDatabase())
+
+
+class TestEmptyInputs:
+    def test_breakdown_on_empty_records(self, empty_joiner):
+        breakdown = empty_joiner.breakdown(PacketRecords.empty())
+        assert breakdown.total_packets == 0
+        assert breakdown.top_asns == []
+        assert breakdown.protocol_shares == {}
+        assert breakdown.by_country == {}
+
+    def test_top_asns_empty(self, empty_joiner):
+        assert empty_joiner.top_asns(PacketRecords.empty()) == []
+
+    def test_country_breakdown_without_geodb(self):
+        joiner = MetadataJoiner(Prefix2As(), AsDatabase(), geodb=None)
+        records = PacketRecords.from_packets(
+            [icmp_echo_request(0.0, 1, 2)]
+        )
+        assert joiner.country_breakdown(records) == {}
+
+    def test_overlap_with_empty_side(self):
+        a = PacketRecords.from_packets([icmp_echo_request(0.0, 5, 9)])
+        report = overlap_report("A", a, "B", PacketRecords.empty(), 64)
+        assert report.jaccard == 0.0
+        assert report.shared_traffic_share_a == 0.0
+        assert report.shared_dest_share_a == 0.0
+
+
+class TestEffectMatrix:
+    def test_nan_padding(self):
+        from repro.analysis.bstm import ImpactResult
+        from repro.analysis.effects import EffectEstimate
+
+        def _estimate(n_days):
+            impact = ImpactResult(
+                counterfactual=np.zeros(n_days),
+                counterfactual_var=np.ones(n_days),
+                pointwise=np.arange(n_days, dtype=float),
+                average_effect=1.0, ci_low=0.5, ci_high=1.5,
+                significant=True, relative_effect=1.0,
+            )
+            return EffectEstimate("x", "packets", 1.0, 0.5, 1.5, True,
+                                  impact)
+
+        matrix = pointwise_effect_matrix([_estimate(3), _estimate(5)], 5)
+        assert matrix.shape == (2, 5)
+        assert np.isnan(matrix[0, 3]) and np.isnan(matrix[0, 4])
+        assert matrix[1, 4] == 4.0
+
+    def test_truncation_to_n_days(self):
+        from repro.analysis.bstm import ImpactResult
+        from repro.analysis.effects import EffectEstimate
+
+        impact = ImpactResult(
+            counterfactual=np.zeros(10), counterfactual_var=np.ones(10),
+            pointwise=np.arange(10, dtype=float),
+            average_effect=1.0, ci_low=0.5, ci_high=1.5,
+            significant=True, relative_effect=1.0,
+        )
+        estimate = EffectEstimate("x", "packets", 1.0, 0.5, 1.5, True,
+                                  impact)
+        matrix = pointwise_effect_matrix([estimate], 4)
+        assert matrix.shape == (1, 4)
+        assert matrix[0, 3] == 3.0
+
+
+class TestEffectEstimateSummary:
+    def test_summary_string(self):
+        from repro.analysis.bstm import ImpactResult
+        from repro.analysis.effects import EffectEstimate
+
+        impact = ImpactResult(
+            counterfactual=np.zeros(1), counterfactual_var=np.ones(1),
+            pointwise=np.zeros(1), average_effect=1234.5,
+            ci_low=1000.0, ci_high=1500.0, significant=True,
+            relative_effect=2.0,
+        )
+        estimate = EffectEstimate("H_X", "traffic", 1234.5, 1000.0,
+                                  1500.0, True, impact)
+        text = estimate.summary()
+        assert "H_X" in text and "*" in text

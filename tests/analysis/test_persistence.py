@@ -1,0 +1,70 @@
+"""Tests for records persistence, conn.log export, and capture conversion."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.flows import aggregate_flows, write_conn_log
+from repro.analysis.records import PacketRecords
+from repro.net.packet import TcpFlags, icmp_echo_request, tcp_segment
+from repro.net.pcapstore import PacketWriter
+from repro.net.realpcap import convert_capture, read_pcap
+
+SRC = 0x20010DB8 << 96 | 7
+DST = 0x20010DB8 << 96 | 9
+
+
+@pytest.fixture
+def packets():
+    return [
+        icmp_echo_request(1.0, SRC, DST),
+        tcp_segment(2.0, SRC, DST, 4000, 443, TcpFlags.SYN),
+        tcp_segment(2.5, SRC, DST, 4000, 443, TcpFlags.ACK, seq=1),
+    ]
+
+
+class TestRecordsPersistence:
+    def test_save_load_roundtrip(self, tmp_path, packets):
+        records = PacketRecords.from_packets(packets)
+        path = tmp_path / "records.npz"
+        records.save(path)
+        loaded = PacketRecords.load(path)
+        assert len(loaded) == len(records)
+        assert list(loaded.src_addresses()) == list(records.src_addresses())
+        assert np.array_equal(loaded.ts, records.ts)
+        assert np.array_equal(loaded.proto, records.proto)
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        PacketRecords.empty().save(path)
+        assert len(PacketRecords.load(path)) == 0
+
+
+class TestConnLog:
+    def test_zeek_format(self, tmp_path, packets):
+        flows = aggregate_flows(PacketRecords.from_packets(packets))
+        path = tmp_path / "conn.log"
+        assert write_conn_log(flows, path) == 2
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("#separator")
+        assert lines[1].startswith("#fields\tts\tuid")
+        columns = lines[2].split("\t")
+        assert len(columns) == 9
+        assert columns[2] == "2001:db8::7"
+        assert columns[6] in ("icmp6", "tcp")
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "conn.log"
+        assert write_conn_log([], path) == 0
+        assert path.read_text().count("\n") == 2  # headers only
+
+
+class TestCaptureConversion:
+    def test_rpv6_to_pcap(self, tmp_path, packets):
+        source = tmp_path / "capture.rpv6"
+        with PacketWriter(source) as writer:
+            writer.write_all(packets)
+        destination = tmp_path / "capture.pcap"
+        assert convert_capture(source, destination) == 3
+        parsed = list(read_pcap(destination))
+        assert len(parsed) == 3
+        assert parsed[0].src == SRC

@@ -1,0 +1,79 @@
+"""Tests for the passive darknet telescope and the packet capturer."""
+
+import pytest
+
+from repro.core.capture import PacketCapturer
+from repro.core.darknet import DarknetTelescope
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import icmp_echo_request
+from repro.net.pcapstore import read_packets
+
+COVERING = IPv6Prefix.parse("2001:db8::/32")
+
+
+class TestDarknet:
+    def test_captures_dark_traffic(self):
+        seen = []
+        telescope = DarknetTelescope("NT", COVERING, on_packet=seen.append)
+        pkt = icmp_echo_request(1.0, 9, COVERING.network | 5)
+        telescope.handle(pkt)
+        assert seen == [pkt]
+        assert telescope.captured_count == 1
+
+    def test_ignores_out_of_prefix(self):
+        telescope = DarknetTelescope("NT", COVERING)
+        telescope.handle(icmp_echo_request(1.0, 9, 42))
+        assert telescope.ignored_count == 1
+
+    def test_assigned_subnets_not_monitored(self):
+        telescope = DarknetTelescope("NT", COVERING)
+        live = COVERING.subnet_at(0, 33)
+        telescope.assign(live)
+        assert not telescope.monitors(live.network | 1)
+        assert telescope.monitors(COVERING.subnet_at(1, 33).network | 1)
+        telescope.handle(icmp_echo_request(1.0, 9, live.network | 1))
+        assert telescope.ignored_count == 1
+
+    def test_unassign_restores(self):
+        telescope = DarknetTelescope("NT", COVERING)
+        live = COVERING.subnet_at(0, 33)
+        telescope.assign(live)
+        telescope.unassign(live)
+        assert telescope.monitors(live.network | 1)
+
+    def test_assign_rejects_outside(self):
+        telescope = DarknetTelescope("NT", COVERING)
+        with pytest.raises(ValueError):
+            telescope.assign(IPv6Prefix.parse("2002::/48"))
+
+    def test_dark_fraction(self):
+        telescope = DarknetTelescope("NT", COVERING)
+        assert telescope.dark_fraction() == 1.0
+        telescope.assign(COVERING.subnet_at(0, 33))
+        assert telescope.dark_fraction() == pytest.approx(0.5)
+
+
+class TestCapturer:
+    def test_columns_roundtrip(self):
+        capturer = PacketCapturer()
+        pkt = icmp_echo_request(3.5, 0xABCDEF << 64, COVERING.network | 9)
+        capturer.capture(pkt)
+        records = capturer.to_records()
+        assert len(records) == 1
+        assert list(records.src_addresses()) == [pkt.src]
+        assert list(records.dst_addresses()) == [pkt.dst]
+        assert records.ts[0] == 3.5
+
+    def test_mirror_file(self, tmp_path):
+        path = tmp_path / "mirror.rpv6"
+        capturer = PacketCapturer(mirror_path=path)
+        pkt = icmp_echo_request(1.0, 1, 2)
+        capturer.capture(pkt)
+        capturer.close()
+        assert read_packets(path) == [pkt]
+
+    def test_len(self):
+        capturer = PacketCapturer()
+        assert len(capturer) == 0
+        capturer.capture(icmp_echo_request(1.0, 1, 2))
+        assert len(capturer) == 1

@@ -1,0 +1,169 @@
+"""Tests for honeyprefix configuration and deployment."""
+
+import pytest
+
+from repro.core.features import FEATURE_CODES, Feature, combo_label
+from repro.core.honeyprefix import (
+    Honeyprefix,
+    HoneyprefixConfig,
+    IcmpMode,
+    WEB_PORTS,
+    deploy_addresses,
+    standard_configs,
+)
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import ICMPV6, TCP, UDP
+
+PREFIX = IPv6Prefix.parse("2001:db8:100::/48")
+
+
+class TestConfigValidation:
+    def test_aliased_requires_full_icmp(self):
+        with pytest.raises(ValueError):
+            HoneyprefixConfig(name="x", aliased=True,
+                              icmp_mode=IcmpMode.ADDRESSES)
+
+    def test_tls_sub_requires_subdomains(self):
+        with pytest.raises(ValueError):
+            HoneyprefixConfig(name="x", tls_sub=True)
+
+    def test_subdomains_require_domains(self):
+        with pytest.raises(ValueError):
+            HoneyprefixConfig(name="x", subdomains=True)
+
+    def test_announce_length_bounds(self):
+        with pytest.raises(ValueError):
+            HoneyprefixConfig(name="x", announce_length=47)
+        with pytest.raises(ValueError):
+            HoneyprefixConfig(name="x", announce_length=65)
+
+    def test_bad_tpot(self):
+        with pytest.raises(ValueError):
+            HoneyprefixConfig(name="x", tpot=3)
+
+    def test_planned_features(self):
+        config = HoneyprefixConfig(
+            name="x", icmp_mode=IcmpMode.ADDRESSES, udp_ports=(53,),
+            domains=("com",), tls_root=True,
+        )
+        features = config.planned_features
+        assert Feature.BGP in features
+        assert Feature.ICMP in features
+        assert Feature.UDP in features
+        assert Feature.DOMAIN in features
+        assert Feature.TLS_ROOT in features
+        assert Feature.TCP not in features
+
+    def test_announce_fails_drops_bgp(self):
+        config = HoneyprefixConfig(name="x", announce_fails=True)
+        assert Feature.BGP not in config.planned_features
+
+
+class TestStandardConfigs:
+    def test_count_is_27(self):
+        assert len(standard_configs()) == 27
+
+    def test_rdns_variant_adds_28th(self):
+        configs = standard_configs(include_rdns=True)
+        assert len(configs) == 28
+        assert configs[-1].rdns
+
+    def test_names_unique(self):
+        names = [c.name for c in standard_configs()]
+        assert len(set(names)) == len(names)
+
+    def test_specific_lengths(self):
+        lengths = sorted(
+            c.announce_length for c in standard_configs()
+            if c.name.startswith("H_Specific")
+        )
+        assert lengths == list(range(49, 65))
+
+    def test_tpots_are_aliased_with_domains(self):
+        configs = {c.name: c for c in standard_configs()}
+        for name in ("H_TPot1", "H_TPot2"):
+            config = configs[name]
+            assert config.aliased and config.tpot
+            assert config.domains == ("com", "com")
+            assert config.hitlist_manual
+
+    def test_h_tcp_announce_fails(self):
+        configs = {c.name: c for c in standard_configs()}
+        assert configs["H_TCP"].announce_fails
+
+    def test_bgp_only_have_no_features(self):
+        configs = {c.name: c for c in standard_configs()}
+        assert configs["H_BGP1"].planned_features == frozenset({Feature.BGP})
+
+
+class TestDeployAddresses:
+    def test_icmp_addresses_mode(self, rng):
+        config = HoneyprefixConfig(name="x", icmp_mode=IcmpMode.ADDRESSES)
+        hp = deploy_addresses(config, PREFIX, rng)
+        icmp = hp.icmp_addresses()
+        assert PREFIX.network | 1 in icmp
+        assert len(icmp) == 3  # ::1 plus two random
+
+    def test_icmp_single_random_when_combined(self, rng):
+        config = HoneyprefixConfig(
+            name="x", icmp_mode=IcmpMode.ADDRESSES,
+            tcp_services=(("web", WEB_PORTS),), udp_ports=(53,),
+        )
+        hp = deploy_addresses(config, PREFIX, rng)
+        assert len(hp.icmp_addresses()) == 2  # ::1 plus one random
+
+    def test_aliased_responds_everywhere_to_icmp(self, rng):
+        config = HoneyprefixConfig(name="x", aliased=True,
+                                   icmp_mode=IcmpMode.FULL)
+        hp = deploy_addresses(config, PREFIX, rng)
+        assert hp.responds(PREFIX.network | 0xABCDEF, ICMPV6, None)
+        assert not hp.responds(PREFIX.network | 0xABCDEF, TCP, 80)
+
+    def test_tcp_service_binding(self, rng):
+        config = HoneyprefixConfig(name="x",
+                                   tcp_services=(("web", (80, 443)),))
+        hp = deploy_addresses(config, PREFIX, rng)
+        addr = next(a for a, b in hp.responsive.items() if (TCP, 80) in b)
+        assert hp.responds(addr, TCP, 443)
+        assert not hp.responds(addr, TCP, 22)
+        assert not hp.responds(addr, ICMPV6, None)
+
+    def test_udp_binding(self, rng):
+        config = HoneyprefixConfig(name="x", udp_ports=(53, 123))
+        hp = deploy_addresses(config, PREFIX, rng)
+        addr = next(a for a, b in hp.responsive.items() if (UDP, 53) in b)
+        assert hp.responds(addr, UDP, 123)
+
+    def test_add_responsive_rejects_outside(self, rng):
+        hp = deploy_addresses(HoneyprefixConfig(name="x"), PREFIX, rng)
+        with pytest.raises(ValueError):
+            hp.add_responsive(1, ICMPV6, None)
+
+    def test_announced_prefix_for_specific(self, rng):
+        config = HoneyprefixConfig(name="x", announce_length=56)
+        hp = deploy_addresses(config, PREFIX, rng)
+        assert hp.announced_prefix.length == 56
+        assert hp.announced_prefix.network == PREFIX.network
+
+
+class TestTimeline:
+    def test_record_and_query(self, rng):
+        hp = deploy_addresses(HoneyprefixConfig(name="x"), PREFIX, rng)
+        hp.record(10.0, Feature.BGP)
+        hp.record(50.0, Feature.TLS_ROOT)
+        assert hp.active_features(30.0) == frozenset({Feature.BGP})
+        assert hp.feature_time(Feature.TLS_ROOT) == 50.0
+        assert hp.feature_time(Feature.DOMAIN) is None
+
+
+class TestFeatureCodes:
+    def test_all_features_have_codes(self):
+        assert set(FEATURE_CODES) == set(Feature)
+
+    def test_combo_label_order(self):
+        label = combo_label({Feature.TLS_SUB, Feature.ICMP, Feature.OTHER,
+                             Feature.SUBDOMAIN})
+        assert label == "ISsO"
+
+    def test_combo_label_empty(self):
+        assert combo_label(set()) == ""

@@ -1,0 +1,151 @@
+"""Tests for the T-Pot stack: containers, DNAT gateway, log recovery."""
+
+import pytest
+
+from repro.core.tpot import (
+    DnatGateway,
+    TPOT1_CONTAINERS,
+    TPOT2_CONTAINERS,
+    TPotInstance,
+)
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import (
+    ICMPV6,
+    TCP,
+    UDP,
+    IcmpType,
+    TcpFlags,
+    icmp_echo_request,
+    tcp_segment,
+    udp_datagram,
+)
+
+PREFIX = IPv6Prefix.parse("2001:db8:300::/48")
+SRC = IPv6Prefix.parse("2001:db8:f00::/48").network | 5
+
+
+@pytest.fixture
+def stack():
+    tpot = TPotInstance("tpot1", TPOT1_CONTAINERS)
+    out = []
+    gateway = DnatGateway(PREFIX, tpot, transmit=out.append)
+    return gateway, tpot, out
+
+
+class TestContainers:
+    def test_table5_tpot1_ports(self):
+        tpot = TPotInstance("tpot1", TPOT1_CONTAINERS)
+        for port in (22, 23, 25, 80, 443, 6379, 5555, 1433, 27017):
+            assert tpot.listens(TCP, port)
+        for port in (19, 53, 123, 161, 1900, 69, 5000):
+            assert tpot.listens(UDP, port)
+        assert not tpot.listens(TCP, 9200)  # elasticpot is TPot2-only
+
+    def test_table5_tpot2_differs(self):
+        tpot = TPotInstance("tpot2", TPOT2_CONTAINERS)
+        assert tpot.listens(TCP, 9200)       # elasticpot
+        assert tpot.listens(TCP, 11112)      # dicompot
+        assert tpot.listens(UDP, 5060)       # sentrypeer
+        assert not tpot.listens(TCP, 22)     # no cowrie on TPot2
+        assert not tpot.listens(TCP, 6379)   # no redis honeypot
+
+    def test_open_ports_sorted(self):
+        tpot = TPotInstance("tpot1", TPOT1_CONTAINERS)
+        ports = tpot.open_ports(TCP)
+        assert list(ports) == sorted(ports)
+
+
+class TestTPotInteraction:
+    def test_handshake_then_banner(self):
+        tpot = TPotInstance("tpot1", TPOT1_CONTAINERS)
+        target = PREFIX.network | 1
+        synack = tpot.handle(tcp_segment(1.0, SRC, target, 4000, 22,
+                                         TcpFlags.SYN, seq=9))
+        assert TcpFlags(synack[0].flags) == TcpFlags.SYN | TcpFlags.ACK
+        banner = tpot.handle(tcp_segment(1.1, SRC, target, 4000, 22,
+                                         TcpFlags.ACK, seq=10))
+        assert banner and banner[0].payload.startswith(b"SSH-2.0")
+        assert tpot.interactions[0].container == "cowrie"
+
+    def test_data_logged(self):
+        tpot = TPotInstance("tpot1", TPOT1_CONTAINERS)
+        target = PREFIX.network | 1
+        tpot.handle(tcp_segment(1.0, SRC, target, 4000, 80,
+                                TcpFlags.PSH | TcpFlags.ACK,
+                                payload=b"GET / HTTP/1.1"))
+        assert tpot.interactions[-1].data == b"GET / HTTP/1.1"
+        assert tpot.interactions[-1].container == "snare"
+
+    def test_udp_interaction(self):
+        tpot = TPotInstance("tpot1", TPOT1_CONTAINERS)
+        out = tpot.handle(udp_datagram(1.0, SRC, PREFIX.network | 1,
+                                       4000, 53, b"q"))
+        assert out
+        assert tpot.interactions[-1].container == "ddospot"
+
+    def test_closed_port_no_response(self):
+        tpot = TPotInstance("tpot1", TPOT1_CONTAINERS)
+        assert tpot.handle(tcp_segment(1.0, SRC, PREFIX.network | 1,
+                                       4000, 9999, TcpFlags.SYN)) == []
+
+
+class TestDnatGateway:
+    def test_icmp_whole_prefix(self, stack):
+        gateway, _, out = stack
+        gateway.handle(icmp_echo_request(1.0, SRC, PREFIX.network | 0xBEEF))
+        assert out[-1].sport == int(IcmpType.ECHO_REPLY)
+        assert out[-1].src == PREFIX.network | 0xBEEF
+
+    def test_dnat_translates_and_logs(self, stack):
+        gateway, tpot, out = stack
+        original = PREFIX.network | 0x1234
+        gateway.handle(tcp_segment(5.0, SRC, original, 4000, 22,
+                                   TcpFlags.SYN))
+        entry = gateway.nat_log[0]
+        assert entry.original_dst == original
+        # T-Pot saw the translated ::1 destination.
+        assert tpot is gateway.tpot
+        assert out[-1].src == original  # reply un-translated
+
+    def test_reply_restores_scanner_port(self, stack):
+        gateway, _, out = stack
+        gateway.handle(tcp_segment(5.0, SRC, PREFIX.network | 7, 4321, 22,
+                                   TcpFlags.SYN))
+        assert out[-1].dport == 4321
+        assert out[-1].dst == SRC
+
+    def test_flow_reuses_nat_port(self, stack):
+        gateway, _, out = stack
+        target = PREFIX.network | 7
+        gateway.handle(tcp_segment(5.0, SRC, target, 4321, 22, TcpFlags.SYN))
+        gateway.handle(tcp_segment(5.1, SRC, target, 4321, 22, TcpFlags.ACK,
+                                   seq=1))
+        assert len(gateway.nat_log) == 1
+
+    def test_recover_destination(self, stack):
+        gateway, _, _ = stack
+        target = PREFIX.network | 0xAA
+        gateway.handle(tcp_segment(5.0, SRC, target, 4321, 22, TcpFlags.SYN))
+        port = gateway.nat_log[0].source_port
+        assert gateway.recover_destination(6.0, port) == target
+        assert gateway.recover_destination(4.0, port) is None
+        assert gateway.recover_destination(6.0, 1) is None
+
+    def test_closed_port_captured_but_silent(self, stack):
+        gateway, _, out = stack
+        gateway.handle(tcp_segment(5.0, SRC, PREFIX.network | 1, 4000, 9999,
+                                   TcpFlags.SYN))
+        assert out == []
+        assert gateway.nat_log == []
+
+    def test_out_of_prefix_ignored(self, stack):
+        gateway, _, out = stack
+        gateway.handle(icmp_echo_request(1.0, SRC, 42))
+        assert out == []
+
+    def test_responds_oracle(self, stack):
+        gateway, _, _ = stack
+        assert gateway.responds(PREFIX.network | 5, ICMPV6, None)
+        assert gateway.responds(PREFIX.network | 5, TCP, 22)
+        assert not gateway.responds(PREFIX.network | 5, TCP, 9999)
+        assert not gateway.responds(42, ICMPV6, None)

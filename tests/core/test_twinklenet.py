@@ -1,0 +1,150 @@
+"""Tests for the Twinklenet low-interaction honeypot (Table 7 semantics)."""
+
+import pytest
+
+from repro.core.honeyprefix import HoneyprefixConfig, IcmpMode, deploy_addresses
+from repro.core.twinklenet import (
+    DNS_SERVFAIL_PAYLOAD,
+    NTP_KOD_PAYLOAD,
+    Twinklenet,
+    TwinklenetConfig,
+)
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import (
+    ICMPV6,
+    TCP,
+    UDP,
+    IcmpType,
+    TcpFlags,
+    icmp_echo_request,
+    tcp_segment,
+    udp_datagram,
+)
+
+PREFIX = IPv6Prefix.parse("2001:db8:200::/48")
+SRC = IPv6Prefix.parse("2001:db8:f00::/48").network | 3
+
+
+@pytest.fixture
+def pot(rng):
+    config = HoneyprefixConfig(
+        name="hp", icmp_mode=IcmpMode.ADDRESSES,
+        tcp_services=(("web", (80, 443)),), udp_ports=(53, 123),
+    )
+    hp = deploy_addresses(config, PREFIX, rng)
+    responses = []
+    twinklenet = Twinklenet(TwinklenetConfig([hp]),
+                            transmit=responses.append)
+    return twinklenet, hp, responses
+
+
+def _tcp_addr(hp):
+    return next(a for a, b in hp.responsive.items() if (TCP, 80) in b)
+
+
+def _udp_addr(hp):
+    return next(a for a, b in hp.responsive.items() if (UDP, 53) in b)
+
+
+class TestIcmp:
+    def test_echo_reply_for_responsive(self, pot):
+        twinklenet, hp, responses = pot
+        twinklenet.handle(icmp_echo_request(1.0, SRC, PREFIX.network | 1))
+        assert len(responses) == 1
+        assert responses[0].sport == int(IcmpType.ECHO_REPLY)
+        assert responses[0].dst == SRC
+
+    def test_silence_for_dark_address(self, pot):
+        twinklenet, hp, responses = pot
+        twinklenet.handle(icmp_echo_request(1.0, SRC, PREFIX.network | 0xF00))
+        assert responses == []
+
+    def test_silence_outside_honeyprefixes(self, pot):
+        twinklenet, hp, responses = pot
+        twinklenet.handle(icmp_echo_request(1.0, SRC, 42))
+        assert responses == []
+        assert twinklenet.rx_count == 1
+
+
+class TestTcp:
+    def test_full_handshake_capture_and_fin(self, pot):
+        twinklenet, hp, responses = pot
+        addr = _tcp_addr(hp)
+        twinklenet.handle(tcp_segment(1.0, SRC, addr, 5000, 80,
+                                      TcpFlags.SYN, seq=100))
+        assert TcpFlags(responses[-1].flags) == TcpFlags.SYN | TcpFlags.ACK
+        assert responses[-1].ack == 101
+        twinklenet.handle(tcp_segment(1.1, SRC, addr, 5000, 80,
+                                      TcpFlags.ACK, seq=101, ack=1))
+        twinklenet.handle(tcp_segment(1.2, SRC, addr, 5000, 80,
+                                      TcpFlags.PSH | TcpFlags.ACK, seq=101,
+                                      payload=b"GET /"))
+        assert TcpFlags(responses[-1].flags) & TcpFlags.FIN
+        assert twinklenet.sessions_completed[0].first_data == b"GET /"
+
+    def test_midstream_gets_rst(self, pot):
+        twinklenet, hp, responses = pot
+        addr = _tcp_addr(hp)
+        twinklenet.handle(tcp_segment(1.0, SRC, addr, 6000, 80,
+                                      TcpFlags.ACK, ack=55))
+        assert TcpFlags(responses[-1].flags) == TcpFlags.RST
+        assert responses[-1].seq == 55
+
+    def test_closed_port_silence(self, pot):
+        twinklenet, hp, responses = pot
+        twinklenet.handle(tcp_segment(1.0, SRC, _tcp_addr(hp), 7000, 8080,
+                                      TcpFlags.SYN))
+        assert responses == []
+
+
+class TestUdp:
+    def test_dns_servfail(self, pot):
+        twinklenet, hp, responses = pot
+        twinklenet.handle(udp_datagram(1.0, SRC, _udp_addr(hp), 9000, 53,
+                                       b"\xab\xcdquery"))
+        assert responses[-1].payload[:2] == b"\xab\xcd"
+        assert DNS_SERVFAIL_PAYLOAD in responses[-1].payload
+
+    def test_ntp_kiss_of_death(self, pot):
+        twinklenet, hp, responses = pot
+        twinklenet.handle(udp_datagram(1.0, SRC, _udp_addr(hp), 9000, 123,
+                                       b"\x23" + b"\x00" * 47))
+        assert responses[-1].payload == NTP_KOD_PAYLOAD
+        assert b"DENY" in responses[-1].payload
+
+    def test_unbound_udp_silence(self, pot):
+        twinklenet, hp, responses = pot
+        twinklenet.handle(udp_datagram(1.0, SRC, _udp_addr(hp), 9000, 161))
+        assert responses == []
+
+
+class TestAliasing:
+    def test_multiple_prefixes_one_instance(self, rng):
+        """IP aliasing: one instance serves non-contiguous subnets."""
+        prefix_a = IPv6Prefix.parse("2001:db8:200::/48")
+        prefix_b = IPv6Prefix.parse("2001:db8:999::/48")
+        config = HoneyprefixConfig(name="a", aliased=True,
+                                   icmp_mode=IcmpMode.FULL)
+        hp_a = deploy_addresses(config, prefix_a, rng)
+        hp_b = deploy_addresses(
+            HoneyprefixConfig(name="b", aliased=True,
+                              icmp_mode=IcmpMode.FULL),
+            prefix_b, rng,
+        )
+        responses = []
+        pot = Twinklenet(TwinklenetConfig([hp_a, hp_b]),
+                         transmit=responses.append)
+        pot.handle(icmp_echo_request(1.0, SRC, prefix_a.network | 77))
+        pot.handle(icmp_echo_request(2.0, SRC, prefix_b.network | 88))
+        assert len(responses) == 2
+
+    def test_responds_oracle(self, pot):
+        twinklenet, hp, _ = pot
+        assert twinklenet.responds(PREFIX.network | 1, ICMPV6, None)
+        assert not twinklenet.responds(42, ICMPV6, None)
+
+    def test_counters(self, pot):
+        twinklenet, hp, _ = pot
+        twinklenet.handle(icmp_echo_request(1.0, SRC, PREFIX.network | 1))
+        assert twinklenet.rx_count == 1
+        assert twinklenet.tx_count == 1

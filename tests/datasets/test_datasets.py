@@ -1,0 +1,105 @@
+"""Tests for the metadata datasets."""
+
+import pytest
+
+from repro.datasets.asdb import AsCategory, AsDatabase, AsRecord
+from repro.datasets.geodb import GeoDatabase
+from repro.datasets.prefix2as import Prefix2As
+from repro.net.addr import IPv6Prefix, parse_address
+
+
+class TestAsDatabase:
+    def test_register_and_lookup(self):
+        db = AsDatabase(misclassification_rate=0.0)
+        db.register(AsRecord(64500, "TEST", AsCategory.ISP_TELECOM, "US"))
+        assert 64500 in db
+        assert db.name(64500) == "TEST"
+        assert db.classify(64500) is AsCategory.ISP_TELECOM
+        assert db.true_category(64500) is AsCategory.ISP_TELECOM
+
+    def test_unknown_asn(self):
+        db = AsDatabase()
+        assert db.name(99) == "AS99"
+        assert db.classify(99) is AsCategory.OTHER
+        assert db.record(99) is None
+
+    def test_duplicate_rejected(self):
+        db = AsDatabase()
+        db.register(AsRecord(1, "A", AsCategory.OTHER, "US"))
+        with pytest.raises(ValueError):
+            db.register(AsRecord(1, "B", AsCategory.OTHER, "US"))
+
+    def test_override_wins(self):
+        db = AsDatabase(misclassification_rate=0.0)
+        db.register(AsRecord(1, "A", AsCategory.HOSTING_CLOUD, "US"))
+        db.override(1, AsCategory.INTERNET_SCANNER)
+        assert db.classify(1) is AsCategory.INTERNET_SCANNER
+        assert db.true_category(1) is AsCategory.HOSTING_CLOUD
+
+    def test_misclassification_is_stable(self):
+        db = AsDatabase(misclassification_rate=1.0, rng=0)
+        db.register(AsRecord(1, "A", AsCategory.HOSTING_CLOUD, "US"))
+        first = db.classify(1)
+        assert first is not AsCategory.HOSTING_CLOUD
+        assert all(db.classify(1) is first for _ in range(5))
+
+    def test_misclassification_rate_zero(self):
+        db = AsDatabase(misclassification_rate=0.0, rng=0)
+        for asn in range(1, 50):
+            db.register(AsRecord(asn, f"A{asn}", AsCategory.CDN, "US"))
+        assert all(db.classify(a) is AsCategory.CDN for a in range(1, 50))
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            AsRecord(0, "A", AsCategory.OTHER, "US")
+        with pytest.raises(ValueError):
+            AsRecord(1, "A", AsCategory.OTHER, "USA")
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            AsDatabase(misclassification_rate=1.5)
+
+
+class TestGeoDatabase:
+    def test_lpm_lookup(self):
+        db = GeoDatabase()
+        db.add(IPv6Prefix.parse("2001:db8::/32"), "de")
+        db.add(IPv6Prefix.parse("2001:db8:5::/48"), "US")
+        assert db.lookup(parse_address("2001:db8:5::1")) == "US"
+        assert db.lookup(parse_address("2001:db8:6::1")) == "DE"
+        assert db.lookup(parse_address("2002::1")) is None
+
+    def test_date_gating(self):
+        db = GeoDatabase()
+        db.add(IPv6Prefix.parse("2001:db8::/32"), "DE", valid_from=100.0)
+        addr = parse_address("2001:db8::1")
+        assert db.lookup(addr, at=50.0) is None
+        assert db.lookup(addr, at=150.0) == "DE"
+
+    def test_rejects_bad_country(self):
+        with pytest.raises(ValueError):
+            GeoDatabase().add(IPv6Prefix.parse("::/0"), "DEU")
+
+    def test_len(self):
+        db = GeoDatabase()
+        db.add(IPv6Prefix.parse("2001:db8::/32"), "DE")
+        assert len(db) == 1
+
+
+class TestPrefix2As:
+    def test_lpm_lookup(self):
+        p2a = Prefix2As()
+        p2a.add(IPv6Prefix.parse("2001:db8::/32"), 64500)
+        p2a.add(IPv6Prefix.parse("2001:db8:5::/48"), 64501)
+        assert p2a.lookup(parse_address("2001:db8:5::1")) == 64501
+        assert p2a.lookup(parse_address("2001:db8:6::1")) == 64500
+        assert p2a.lookup(parse_address("2002::1")) is None
+
+    def test_date_gating(self):
+        p2a = Prefix2As()
+        p2a.add(IPv6Prefix.parse("2001:db8::/32"), 64500, valid_from=100.0)
+        assert p2a.lookup(parse_address("2001:db8::1"), at=50.0) is None
+
+    def test_rejects_bad_asn(self):
+        with pytest.raises(ValueError):
+            Prefix2As().add(IPv6Prefix.parse("::/0"), 0)

@@ -1,0 +1,57 @@
+"""Tests for DNS records and name validation."""
+
+import pytest
+
+from repro.dns.records import ResourceRecord, RRType, validate_name
+from repro.net.addr import parse_address
+
+
+class TestValidateName:
+    def test_lowercases(self):
+        assert validate_name("WWW.Example.COM") == "www.example.com"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_name("")
+
+    def test_rejects_long_name(self):
+        with pytest.raises(ValueError):
+            validate_name("a" * 254)
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError):
+            validate_name("bad..example.com")
+        with pytest.raises(ValueError):
+            validate_name("-lead.example.com")
+        with pytest.raises(ValueError):
+            validate_name("trail-.example.com")
+
+    def test_underscore_allowed(self):
+        assert validate_name("_acme-challenge.example.com")
+
+    def test_rejects_long_label(self):
+        with pytest.raises(ValueError):
+            validate_name("a" * 64 + ".com")
+
+
+class TestResourceRecord:
+    def test_aaaa_requires_int(self):
+        with pytest.raises(TypeError):
+            ResourceRecord("a.example.com", RRType.AAAA, "2001:db8::1")
+
+    def test_rejects_negative_ttl(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("a.example.com", RRType.TXT, "x", ttl=-1)
+
+    def test_render_aaaa(self):
+        record = ResourceRecord("a.example.com", RRType.AAAA,
+                                parse_address("2001:db8::1"))
+        assert record.render() == "a.example.com. 3600 IN AAAA 2001:db8::1"
+
+    def test_render_txt_quotes(self):
+        record = ResourceRecord("a.example.com", RRType.TXT, "token")
+        assert record.render().endswith('TXT "token"')
+
+    def test_name_normalized(self):
+        record = ResourceRecord("WWW.Example.com", RRType.TXT, "x")
+        assert record.name == "www.example.com"

@@ -1,0 +1,90 @@
+"""Tests for TLD registries and the registrar."""
+
+import pytest
+
+from repro._util import DAY
+from repro.dns.registry import Registrar, TldRegistry
+
+
+@pytest.fixture
+def registrar():
+    r = Registrar()
+    r.add_tld(TldRegistry("com"))
+    r.add_tld(TldRegistry("net"))
+    return r
+
+
+class TestTldRegistry:
+    def test_register_and_list(self):
+        tld = TldRegistry("com")
+        tld.register("example.com", at=100.0, registrant="x")
+        assert [r.domain for r in tld.registrations()] == ["example.com"]
+
+    def test_rejects_duplicate(self):
+        tld = TldRegistry("com")
+        tld.register("example.com", at=100.0, registrant="x")
+        with pytest.raises(ValueError):
+            tld.register("example.com", at=200.0, registrant="y")
+
+    def test_rejects_wrong_tld(self):
+        tld = TldRegistry("com")
+        with pytest.raises(ValueError):
+            tld.register("example.net", at=100.0, registrant="x")
+
+    def test_rejects_subdomain(self):
+        tld = TldRegistry("com")
+        with pytest.raises(ValueError):
+            tld.register("www.example.com", at=100.0, registrant="x")
+
+    def test_rejects_multi_label_tld(self):
+        with pytest.raises(ValueError):
+            TldRegistry("co.uk")
+
+    def test_publication_is_next_daily_cut(self):
+        tld = TldRegistry("com")
+        assert tld.publication_time(100.0) == DAY
+        assert tld.publication_time(DAY + 1) == 2 * DAY
+
+    def test_zone_file_visibility(self):
+        tld = TldRegistry("com")
+        tld.register("example.com", at=100.0, registrant="x")
+        assert tld.zone_file_at(0.5 * DAY) == set()
+        assert tld.zone_file_at(1.5 * DAY) == {"example.com"}
+
+    def test_new_domains_window(self):
+        tld = TldRegistry("com")
+        tld.register("example.com", at=100.0, registrant="x")
+        assert tld.new_domains(0.0, 0.5 * DAY) == {}
+        assert tld.new_domains(0.5 * DAY, 2 * DAY) == {"example.com": DAY}
+        assert tld.new_domains(2 * DAY, 3 * DAY) == {}
+
+
+class TestRegistrar:
+    def test_register_creates_zone(self, registrar):
+        zone = registrar.register_domain("example.com", at=100.0)
+        assert zone.origin == "example.com"
+        assert registrar.zone_for("www.example.com") is zone
+
+    def test_unknown_tld_rejected(self, registrar):
+        with pytest.raises(KeyError):
+            registrar.register_domain("example.org", at=100.0)
+
+    def test_set_aaaa_and_txt(self, registrar):
+        registrar.register_domain("example.com", at=100.0)
+        registrar.set_aaaa("www.example.com", 42, at=200.0)
+        registrar.set_txt("_acme-challenge.example.com", "tok", at=200.0)
+        zone = registrar.zone_for("example.com")
+        from repro.dns.records import RRType
+
+        assert zone.lookup("www.example.com", RRType.AAAA)[0].value == 42
+        assert registrar.remove_txt("_acme-challenge.example.com") == 1
+
+    def test_set_aaaa_unknown_zone(self, registrar):
+        with pytest.raises(KeyError):
+            registrar.set_aaaa("www.unknown.com", 42, at=0.0)
+
+    def test_zone_for_unknown(self, registrar):
+        assert registrar.zone_for("www.unknown.com") is None
+
+    def test_tlds_property(self, registrar):
+        assert set(registrar.tlds) == {"com", "net"}

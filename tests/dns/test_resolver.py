@@ -1,0 +1,72 @@
+"""Tests for the resolver."""
+
+import pytest
+
+from repro.dns.records import RRType
+from repro.dns.registry import Registrar, TldRegistry
+from repro.dns.resolver import Resolver
+from repro.dns.reverse import ReverseZone
+
+
+@pytest.fixture
+def setup():
+    registrar = Registrar()
+    registrar.add_tld(TldRegistry("com"))
+    registrar.register_domain("example.com", at=100.0)
+    registrar.set_aaaa("example.com", 10, at=100.0)
+    registrar.set_aaaa("www.example.com", 20, at=500.0)
+    reverse = ReverseZone()
+    reverse.add_ptr(10, "example.com", at=100.0)
+    return Resolver([registrar], reverse), registrar
+
+
+def test_resolve_aaaa(setup):
+    resolver, _ = setup
+    assert resolver.resolve_aaaa("example.com", at=200.0) == [10]
+
+
+def test_time_awareness(setup):
+    resolver, _ = setup
+    assert resolver.resolve_aaaa("www.example.com", at=200.0) == []
+    assert resolver.resolve_aaaa("www.example.com", at=600.0) == [20]
+
+
+def test_zone_creation_time_gates(setup):
+    resolver, _ = setup
+    assert resolver.resolve_aaaa("example.com", at=50.0) == []
+
+
+def test_unknown_name(setup):
+    resolver, _ = setup
+    assert resolver.resolve("nope.other.com", RRType.AAAA, 1e9) == []
+
+
+def test_reverse_resolution(setup):
+    resolver, _ = setup
+    assert resolver.resolve_ptr(10, at=200.0) == ["example.com"]
+    assert resolver.resolve_ptr(10, at=50.0) == []
+    assert resolver.resolve_ptr(11, at=200.0) == []
+
+
+def test_query_counter(setup):
+    resolver, _ = setup
+    before = resolver.query_count
+    resolver.resolve_aaaa("example.com", at=200.0)
+    resolver.resolve_ptr(10, at=200.0)
+    assert resolver.query_count == before + 2
+
+
+def test_resolver_without_reverse_zone():
+    resolver = Resolver([])
+    assert resolver.resolve_ptr(10, at=0.0) == []
+
+
+def test_add_registrar():
+    registrar = Registrar()
+    registrar.add_tld(TldRegistry("org"))
+    registrar.register_domain("x.org", at=0.0)
+    registrar.set_aaaa("x.org", 7, at=0.0)
+    resolver = Resolver()
+    assert resolver.resolve_aaaa("x.org", at=10.0) == []
+    resolver.add_registrar(registrar)
+    assert resolver.resolve_aaaa("x.org", at=10.0) == [7]

@@ -1,0 +1,79 @@
+"""Tests for the ip6.arpa reverse tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.reverse import ReverseZone, nibble_name, nibble_prefix_name
+from repro.net.addr import MAX_ADDRESS, parse_address
+
+
+class TestNibbleNames:
+    def test_known_value(self):
+        addr = parse_address("2001:db8::1")
+        name = nibble_name(addr)
+        assert name.endswith("8.b.d.0.1.0.0.2.ip6.arpa")
+        assert name.startswith("1.0.0.0.")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            nibble_name(-1)
+
+    def test_prefix_name(self):
+        prefix = parse_address("2001:db8::")
+        assert nibble_prefix_name(prefix, 32) == "8.b.d.0.1.0.0.2.ip6.arpa"
+
+    def test_prefix_name_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            nibble_prefix_name(0, 33)
+
+    @given(st.integers(min_value=0, max_value=MAX_ADDRESS))
+    def test_name_has_32_nibbles(self, addr):
+        name = nibble_name(addr)
+        assert len(name.split(".")) == 34  # 32 nibbles + ip6 + arpa
+
+
+class TestWalk:
+    @pytest.fixture
+    def zone(self):
+        zone = ReverseZone()
+        zone.add_ptr(parse_address("2001:db8::1"), "a.example", at=10.0)
+        zone.add_ptr(parse_address("2001:db8::ff"), "b.example", at=10.0)
+        zone.add_ptr(parse_address("2001:db9::1"), "c.example", at=10.0)
+        return zone
+
+    def test_node_exists(self, zone):
+        assert zone.node_exists(parse_address("2001:db8::"), 32, at=20.0)
+        assert not zone.node_exists(parse_address("2001:dba::"), 32, at=20.0)
+
+    def test_node_exists_time_gated(self, zone):
+        assert not zone.node_exists(parse_address("2001:db8::"), 32, at=5.0)
+
+    def test_walk_finds_all_in_prefix(self, zone):
+        found = list(zone.walk(parse_address("2001:db8::"), 32, at=20.0))
+        assert found == [parse_address("2001:db8::1"),
+                         parse_address("2001:db8::ff")]
+
+    def test_walk_prunes_other_prefixes(self, zone):
+        found = list(zone.walk(parse_address("2001:db9::"), 32, at=20.0))
+        assert found == [parse_address("2001:db9::1")]
+
+    def test_walk_budget(self, zone):
+        assert list(zone.walk(parse_address("2001:db8::"), 32, at=20.0,
+                              max_queries=3)) == []
+
+    def test_walk_empty_zone(self):
+        zone = ReverseZone()
+        assert list(zone.walk(0, 0, at=1e9)) == []
+
+    def test_walk_whole_tree(self, zone):
+        found = list(zone.walk(0, 0, at=20.0))
+        assert len(found) == 3
+
+    def test_lookup_ptr(self, zone):
+        assert zone.lookup_ptr(parse_address("2001:db8::1"), at=20.0) == [
+            "a.example"
+        ]
+
+    def test_add_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ReverseZone().add_ptr(-1, "x.example")

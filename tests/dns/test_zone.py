@@ -1,0 +1,70 @@
+"""Tests for DNS zones."""
+
+import pytest
+
+from repro.dns.records import ResourceRecord, RRType
+from repro.dns.zone import Zone
+
+
+@pytest.fixture
+def zone():
+    return Zone("example.com", created_at=10.0)
+
+
+def test_add_and_lookup(zone):
+    zone.add(ResourceRecord("www.example.com", RRType.AAAA, 42))
+    assert [r.value for r in zone.lookup("www.example.com", RRType.AAAA)] == [42]
+
+
+def test_lookup_missing_returns_empty(zone):
+    assert zone.lookup("nope.example.com", RRType.AAAA) == []
+
+
+def test_lookup_out_of_zone_returns_empty(zone):
+    assert zone.lookup("www.other.org", RRType.AAAA) == []
+
+
+def test_add_rejects_out_of_zone(zone):
+    with pytest.raises(ValueError):
+        zone.add(ResourceRecord("www.other.org", RRType.AAAA, 42))
+
+
+def test_apex_record_allowed(zone):
+    zone.add(ResourceRecord("example.com", RRType.AAAA, 1))
+    assert zone.lookup("example.com", RRType.AAAA)
+
+
+def test_serial_increments(zone):
+    start = zone.serial
+    zone.add(ResourceRecord("www.example.com", RRType.AAAA, 42))
+    assert zone.serial == start + 1
+    zone.remove("www.example.com", RRType.AAAA)
+    assert zone.serial == start + 2
+
+
+def test_remove_counts(zone):
+    zone.add(ResourceRecord("www.example.com", RRType.AAAA, 1))
+    zone.add(ResourceRecord("www.example.com", RRType.AAAA, 2))
+    assert zone.remove("www.example.com", RRType.AAAA) == 2
+    assert zone.remove("www.example.com", RRType.AAAA) == 0
+
+
+def test_remove_noop_does_not_bump_serial(zone):
+    serial = zone.serial
+    zone.remove("www.example.com", RRType.AAAA)
+    assert zone.serial == serial
+
+
+def test_names_and_records(zone):
+    zone.add(ResourceRecord("www.example.com", RRType.AAAA, 1))
+    zone.add(ResourceRecord("mail.example.com", RRType.AAAA, 2))
+    assert zone.names() == {"www.example.com", "mail.example.com"}
+    assert len(zone.records()) == 2
+
+
+def test_render_is_stable(zone):
+    zone.add(ResourceRecord("www.example.com", RRType.AAAA, 1))
+    zone.add(ResourceRecord("mail.example.com", RRType.AAAA, 2))
+    text = zone.render()
+    assert text.startswith("$ORIGIN example.com.")
+    assert text.index("mail.example.com") < text.index("www.example.com")

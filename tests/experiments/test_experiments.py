@@ -1,0 +1,168 @@
+"""Tests for the experiment drivers (shapes asserted against the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import Feature
+from repro.datasets.asdb import AsCategory
+from repro.experiments import (
+    EXPERIMENTS,
+    fig1,
+    fig2,
+    fig5,
+    fig6,
+    fig9,
+    fig10,
+    fig11,
+    fig13,
+    fig14,
+    s51_overlap,
+    s531_retraction,
+    table1,
+    table2,
+    table3,
+    table5,
+    table6,
+    table7,
+)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert len(EXPERIMENTS) == 21
+        for key, (fn, needs_result) in EXPERIMENTS.items():
+            assert callable(fn)
+
+
+class TestConfigExperiments:
+    def test_table2(self):
+        result = table2()
+        assert result.count == 27
+        assert "H_TPot1" in result.render()
+        assert result.by_name("H_UDP").udp_ports == (53, 123)
+        with pytest.raises(KeyError):
+            result.by_name("nope")
+
+    def test_table5(self):
+        result = table5()
+        assert "cowrie" in result.tpot1_ports
+        assert "cowrie" not in result.tpot2_ports
+        assert "elasticpot" in result.tpot2_ports
+        assert "dionaea" in result.tpot1_ports
+        assert "snare" in result.render()
+
+    def test_table7_matches_paper(self):
+        result = table7()
+        i = result.interactions
+        assert i["ICMPv6 echo request"] == "ICMPv6 Echo reply"
+        assert "SYN" in i["TCP SYN to open port"] or "18" in i["TCP SYN to open port"]
+        assert i["any DNS query (UDP/53)"] == "DNS SERVFAIL"
+        assert i["any NTP client packet (UDP/123)"] == "NTP kiss-of-death (DENY)"
+        assert i["TCP SYN to closed port"] == "(silence)"
+        assert i["ICMPv6 echo to dark address"] == "(silence)"
+
+
+class TestCdnExperiments:
+    def test_fig1_growth(self):
+        result = fig1(seed=0)
+        assert result.growth_128 > 1.5
+        assert result.growth_64 > 1.5
+        assert result.growth_48 > 1.5
+        assert "growth" in result.render()
+
+    def test_fig2_growth_and_dispersion(self):
+        result = fig2(seed=0)
+        assert result.growth > 10
+        assert result.early_top_share > result.late_top_share
+
+    def test_fig13_as_growth(self):
+        result = fig13(seed=0)
+        assert result.growth > 2
+        assert len(result.ases) == 104
+
+    def test_table6_rows(self):
+        result = table6(seed=0)
+        assert len(result.rows) == 20
+        assert result.rows[0]["share"] > result.rows[-1]["share"]
+        assert "#1" in result.render()
+
+
+class TestScenarioExperiments:
+    def test_table1_shape(self, small_result):
+        result = table1(small_result)
+        nta = result.row("NT-A")
+        ntb = result.row("NT-B")
+        ntc = result.row("NT-C")
+        assert nta.packets > ntc.packets > ntb.packets
+        assert nta.sources_128 >= nta.sources_64 >= nta.sources_48
+        assert nta.source_asns > ntc.source_asns >= ntb.source_asns
+        assert "NT-A" in result.render()
+
+    def test_s51_overlap(self, small_result):
+        result = s51_overlap(small_result)
+        assert 0.0 < result.average_jaccard < 0.4
+        assert result.max_jaccard <= 0.5
+        # Overlapping /64 sources carry the bulk of NT-C's traffic.
+        assert result.reports["A-C"].shared_traffic_share_b > 0.5
+        assert "Jaccard" in result.render()
+
+    def test_table3_top2_dominate(self, small_result):
+        result = table3(small_result)
+        names = [r.name for r in result.rows[:2]]
+        assert set(names) == {"AMAZON-02", "CNGI-CERNET"}
+        assert result.top2_share > 0.5
+        amazon = next(r for r in result.rows if r.name == "AMAZON-02")
+        cernet = next(r for r in result.rows if r.name == "CNGI-CERNET")
+        # Table 3's contrast: similar volume, wildly different source counts.
+        assert amazon.unique_128 > 50 * cernet.unique_128 / 46
+        assert "top-2 share" in result.render()
+
+    def test_fig5_shapes(self, small_result):
+        result = fig5(small_result)
+        assert result.icmp_share > 0.7
+        scanners = result.category(AsCategory.INTERNET_SCANNER)
+        assert scanners.dominant_protocol == "tcp"
+        re_stats = result.category(AsCategory.RESEARCH_EDUCATION)
+        cloud = result.category(AsCategory.HOSTING_CLOUD)
+        assert re_stats.unique_destinations_128 > cloud.unique_destinations_128
+        # Scanner ASes hold far more unique sources per packet than clouds.
+        assert scanners.unique_sources_128 > 0
+
+    def test_fig6_germany_leads(self, small_result):
+        result = fig6(small_result)
+        assert result.top_country == "DE"
+        assert "DE" in result.render()
+
+    def test_fig9_scope(self, small_result):
+        result = fig9(small_result)
+        assert result.frac_2 > 0.6
+        assert result.frac_27 > 0.99
+        assert result.report.honeyprefix_traffic_share > 0.9
+        assert "honeyprefix traffic share" in result.render()
+
+    def test_fig10_bimodal_no_length_correlation(self, small_result):
+        result = fig10(small_result)
+        assert len(result.packets) == 16
+        assert result.length_correlation < 0.6
+        assert "/49" in result.render()
+
+    def test_fig11_tactics(self, small_result):
+        result = fig11(small_result)
+        assert "H_TPot1" in result.reports
+        # The subdomain/TLS coupling finding (paper's D arrow).
+        assert result.subdomain_tls_coupling_holds()
+        # Hitlist-driven sources hit the TPots.
+        assert result.sources_using("H_TPot1", "H") > 0
+        assert "tactic combinations" in result.render()
+
+    def test_fig14_upper_half(self, small_result):
+        result = fig14(small_result)
+        assert result.upper_half_fraction == 1.0
+        assert result.grid.shape == (256, 256)
+        assert result.grid.sum() > 0
+        assert len(result.honeyprefix_cells) == 27
+
+    def test_s531_retraction(self, small_result):
+        result = s531_retraction(small_result)
+        assert result.suppression > 0.8
+        assert "suppressed" in result.render()

@@ -1,0 +1,67 @@
+"""Tests for the footnote-1 timeout-sensitivity experiment."""
+
+import pytest
+
+from repro.analysis.records import PacketRecords
+from repro.experiments.timeout_sensitivity import (
+    TIMEOUTS,
+    footnote1_timeout_sensitivity,
+)
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import icmp_echo_request
+
+SRC = IPv6Prefix.parse("2620:1::/48").network | 1
+
+
+def _spaced_pings(gap: float, n: int = 240):
+    """One source probing n distinct targets with a fixed gap."""
+    return PacketRecords.from_packets([
+        icmp_echo_request(i * gap, SRC, (1 << 80) + i) for i in range(n)
+    ])
+
+
+class TestRawMode:
+    def test_dense_traffic_is_insensitive(self):
+        records = _spaced_pings(gap=10.0)
+        result = footnote1_timeout_sensitivity(records, min_targets=100)
+        assert not result.density_corrected
+        assert result.scan_counts == (1, 1, 1)
+        assert result.relative_drop(1) == 0.0
+
+    def test_sparse_traffic_fragments(self):
+        # Gaps of 1200 s: sessions survive 1800/3600 but shatter at 900.
+        records = _spaced_pings(gap=1200.0)
+        result = footnote1_timeout_sensitivity(records, min_targets=100)
+        assert result.scan_counts[0] == 1
+        assert result.scan_counts[1] == 1
+        assert result.source_counts[2] == 0  # fragments below 100 targets
+
+    def test_empty_records(self):
+        result = footnote1_timeout_sensitivity(PacketRecords.empty())
+        assert result.scan_counts == (0, 0, 0)
+        assert result.relative_drop(2) == 0.0
+
+
+class TestDensityCorrection:
+    def test_scenario_default_corrects(self, small_result):
+        result = footnote1_timeout_sensitivity(small_result,
+                                               min_targets=50)
+        assert result.density_corrected
+        factor = 1.0 / small_result.config.volume_scale
+        assert result.effective_timeouts == tuple(
+            t * factor for t in TIMEOUTS
+        )
+        # At corrected density, the paper's claim: marginal differences.
+        assert result.relative_drop(1) < 0.1
+        assert result.relative_drop(2) < 0.1
+
+    def test_scenario_raw_mode_available(self, small_result):
+        result = footnote1_timeout_sensitivity(
+            small_result, min_targets=50, density_corrected=False,
+        )
+        assert result.effective_timeouts == TIMEOUTS
+
+    def test_render_mentions_mode(self, small_result):
+        corrected = footnote1_timeout_sensitivity(small_result,
+                                                  min_targets=50)
+        assert "density-corrected" in corrected.render()

@@ -1,0 +1,178 @@
+"""Tests for the hitlist prober and service."""
+
+import pytest
+
+from repro.hitlist.categories import HitlistCategory
+from repro.hitlist.prober import CallableOracle, Prober
+from repro.hitlist.service import HitlistService
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import ICMPV6, TCP, UDP
+
+ALIASED = IPv6Prefix.parse("2001:db8:aa::/48")
+LIVE_WEB = IPv6Prefix.parse("2001:db8:1::/48").network | 7
+LIVE_PING = IPv6Prefix.parse("2001:db8:2::/48").network | 1
+
+
+class _Oracle:
+    """Configurable fake telescope."""
+
+    def __init__(self):
+        self.dead: set[int] = set()
+
+    def responds(self, addr, proto, port, at):
+        if addr in self.dead:
+            return False
+        if addr in ALIASED:
+            return proto == ICMPV6
+        if addr == LIVE_WEB:
+            return proto == TCP and port in (80, 443)
+        if addr == LIVE_PING:
+            return proto == ICMPV6
+        return False
+
+
+@pytest.fixture
+def oracle():
+    return _Oracle()
+
+
+@pytest.fixture
+def service(oracle):
+    prober = Prober(oracle, rng=0)
+    svc = HitlistService(prober, cycle_period=86_400.0)
+    return svc
+
+
+class TestProber:
+    def test_probe_address(self, oracle):
+        prober = Prober(oracle, rng=0)
+        assert prober.probe_address(LIVE_PING, HitlistCategory.ICMP, 0.0)
+        assert not prober.probe_address(LIVE_PING, HitlistCategory.TCP80, 0.0)
+        assert prober.probe_address(LIVE_WEB, HitlistCategory.TCP80, 0.0)
+
+    def test_probe_rejects_prefix_category(self, oracle):
+        prober = Prober(oracle, rng=0)
+        with pytest.raises(ValueError):
+            prober.probe_address(1, HitlistCategory.ALIASED, 0.0)
+
+    def test_detect_alias_true(self, oracle):
+        prober = Prober(oracle, rng=0)
+        assert prober.detect_alias(ALIASED, 0.0)
+
+    def test_detect_alias_false(self, oracle):
+        prober = Prober(oracle, rng=0)
+        assert not prober.detect_alias(IPv6Prefix.parse("2001:db8:2::/48"),
+                                       0.0)
+
+    def test_probe_counter(self, oracle):
+        prober = Prober(oracle, rng=0)
+        prober.probe_address(LIVE_PING, HitlistCategory.ICMP, 0.0)
+        prober.detect_alias(ALIASED, 0.0)
+        assert prober.probe_count == 1 + prober.alias_probe_count
+
+
+class TestServiceCompilation:
+    def test_discovers_categories(self, service):
+        service.add_candidate_source(
+            lambda s, u: [LIVE_WEB, LIVE_PING]
+        )
+        entries = service.run_cycle(at=100.0)
+        categories = {(e.category, e.address) for e in entries
+                      if e.address is not None}
+        assert (HitlistCategory.TCP80, LIVE_WEB) in categories
+        assert (HitlistCategory.TCP443, LIVE_WEB) in categories
+        assert (HitlistCategory.ICMP, LIVE_PING) in categories
+
+    def test_aliased_detection_and_subsumption(self, service):
+        service.add_prefix_source(lambda s, u: [ALIASED])
+        service.add_candidate_source(
+            lambda s, u: [ALIASED.network | 0x42]
+        )
+        entries = service.run_cycle(at=100.0)
+        aliased = [e for e in entries
+                   if e.category is HitlistCategory.ALIASED]
+        assert [e.prefix for e in aliased] == [ALIASED]
+        # No /64 inside the aliased /48 published, no address entries.
+        assert not any(
+            e.prefix is not None and e.prefix.length == 64 and
+            ALIASED.contains_prefix(e.prefix)
+            for e in entries
+        )
+        assert not any(
+            e.address is not None and e.address in ALIASED for e in entries
+        )
+
+    def test_non_aliased_published(self, service):
+        service.add_candidate_source(lambda s, u: [LIVE_PING])
+        entries = service.run_cycle(at=100.0)
+        assert any(e.category is HitlistCategory.NON_ALIASED for e in entries)
+
+    def test_known_addresses_not_rediscovered(self, service):
+        service.add_candidate_source(lambda s, u: [LIVE_PING])
+        first = service.run_cycle(at=100.0)
+        second = service.run_cycle(at=200.0)
+        assert not any(
+            e.address == LIVE_PING and not e.removed for e in second
+        )
+
+    def test_cycle_requires_forward_time(self, service):
+        service.run_cycle(at=100.0)
+        with pytest.raises(ValueError):
+            service.run_cycle(at=100.0)
+
+
+class TestRevalidation:
+    def test_dead_entry_removed(self, service, oracle):
+        service.add_candidate_source(
+            lambda s, u: [LIVE_PING] if u <= 150.0 else []
+        )
+        service.run_cycle(at=100.0)
+        oracle.dead.add(LIVE_PING)
+        entries = service.run_cycle(at=200.0)
+        removed = [e for e in entries if e.removed]
+        assert [(e.category, e.address) for e in removed] == [
+            (HitlistCategory.ICMP, LIVE_PING)
+        ]
+
+    def test_snapshot_respects_removal(self, service, oracle):
+        service.add_candidate_source(
+            lambda s, u: [LIVE_PING] if u <= 150.0 else []
+        )
+        service.run_cycle(at=100.0)
+        before = service.snapshot_at(150.0)
+        assert LIVE_PING in before.addresses[HitlistCategory.ICMP]
+        oracle.dead.add(LIVE_PING)
+        service.run_cycle(at=200.0)
+        after = service.snapshot_at(250.0)
+        assert LIVE_PING not in after.addresses.get(HitlistCategory.ICMP, set())
+
+    def test_rediscovery_after_revival(self, service, oracle):
+        service.add_candidate_source(lambda s, u: [LIVE_PING])
+        service.run_cycle(at=100.0)
+        oracle.dead.add(LIVE_PING)
+        service.run_cycle(at=200.0)
+        oracle.dead.clear()
+        entries = service.run_cycle(at=300.0)
+        assert any(
+            e.address == LIVE_PING and not e.removed for e in entries
+        )
+
+
+class TestManualInsertion:
+    def test_manual_entry_published(self, service):
+        entry = service.insert_manual(HitlistCategory.ICMP, at=50.0,
+                                      address=LIVE_PING)
+        assert entry.manual
+        assert service.entries_between(0.0, 60.0) == [entry]
+
+    def test_manual_requires_exactly_one_target(self, service):
+        with pytest.raises(ValueError):
+            service.insert_manual(HitlistCategory.ICMP, at=0.0)
+        with pytest.raises(ValueError):
+            service.insert_manual(HitlistCategory.ICMP, at=0.0,
+                                  address=1, prefix=ALIASED)
+
+    def test_snapshot_includes_manual(self, service):
+        service.insert_manual(HitlistCategory.UDP53, at=50.0, address=9)
+        snap = service.snapshot_at(60.0)
+        assert 9 in snap.addresses[HitlistCategory.UDP53]

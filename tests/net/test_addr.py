@@ -1,0 +1,208 @@
+"""Tests for repro.net.addr."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import (
+    MAX_ADDRESS,
+    IPv6Address,
+    IPv6Prefix,
+    aggregate,
+    aggregate_sources,
+    format_address,
+    join_u64,
+    mask_u64,
+    parse_address,
+    parse_prefix,
+    split_u64,
+)
+
+addresses = st.integers(min_value=0, max_value=MAX_ADDRESS)
+prefix_lengths = st.integers(min_value=0, max_value=128)
+
+
+class TestParseFormat:
+    def test_parse_full_form(self):
+        assert parse_address("0:0:0:0:0:0:0:1") == 1
+
+    def test_parse_compressed(self):
+        assert parse_address("::1") == 1
+        assert parse_address("::") == 0
+        assert parse_address("2001:db8::") == 0x20010DB8 << 96
+
+    def test_parse_leading_compress(self):
+        assert parse_address("::ffff:1") == (0xFFFF << 16) | 1
+
+    def test_parse_trailing_compress(self):
+        assert parse_address("fe80::") == 0xFE80 << 112
+
+    def test_parse_rejects_double_compress(self):
+        with pytest.raises(ValueError):
+            parse_address("1::2::3")
+
+    def test_parse_rejects_too_many_groups(self):
+        with pytest.raises(ValueError):
+            parse_address("1:2:3:4:5:6:7:8:9")
+
+    def test_parse_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            parse_address("2001:xyz::1")
+
+    def test_parse_rejects_oversize_group(self):
+        with pytest.raises(ValueError):
+            parse_address("12345::")
+
+    def test_format_zero_compression(self):
+        assert format_address(1) == "::1"
+        assert format_address(0) == "::"
+
+    def test_format_picks_longest_zero_run(self):
+        value = parse_address("2001:0:0:1:0:0:0:1")
+        assert format_address(value) == "2001:0:0:1::1"
+
+    def test_format_no_compression_single_zero(self):
+        value = parse_address("1:0:2:3:4:5:6:7")
+        assert format_address(value) == "1:0:2:3:4:5:6:7"
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_address(-1)
+        with pytest.raises(ValueError):
+            format_address(MAX_ADDRESS + 1)
+
+    @given(addresses)
+    def test_roundtrip(self, value):
+        assert parse_address(format_address(value)) == value
+
+
+class TestIPv6Address:
+    def test_truncate(self):
+        addr = IPv6Address.parse("2001:db8:1:2:3:4:5:6")
+        assert addr.truncate(32) == parse_address("2001:db8::")
+
+    def test_prefix(self):
+        addr = IPv6Address.parse("2001:db8:1::9")
+        assert addr.prefix(48) == IPv6Prefix.parse("2001:db8:1::/48")
+
+    def test_ordering(self):
+        assert IPv6Address(1) < IPv6Address(2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            IPv6Address(-1)
+
+    def test_str(self):
+        assert str(IPv6Address(1)) == "::1"
+
+
+class TestIPv6Prefix:
+    def test_parse_and_str(self):
+        prefix = IPv6Prefix.parse("2001:db8::/32")
+        assert str(prefix) == "2001:db8::/32"
+        assert prefix.length == 32
+
+    def test_parse_requires_slash(self):
+        with pytest.raises(ValueError):
+            IPv6Prefix.parse("2001:db8::")
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            IPv6Prefix(1, 32)
+
+    def test_contains_address(self):
+        prefix = IPv6Prefix.parse("2001:db8::/32")
+        assert IPv6Address.parse("2001:db8:ffff::1") in prefix
+        assert IPv6Address.parse("2001:db9::1") not in prefix
+
+    def test_contains_int(self):
+        prefix = IPv6Prefix.parse("2001:db8::/32")
+        assert parse_address("2001:db8::42") in prefix
+
+    def test_contains_prefix(self):
+        outer = IPv6Prefix.parse("2001:db8::/32")
+        inner = IPv6Prefix.parse("2001:db8:5::/48")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_first_last(self):
+        prefix = IPv6Prefix.parse("2001:db8::/126")
+        assert prefix.first.value == prefix.network
+        assert prefix.last.value == prefix.network + 3
+
+    def test_num_addresses(self):
+        assert IPv6Prefix.parse("::/128").num_addresses == 1
+        assert IPv6Prefix.parse("2001:db8::/64").num_addresses == 1 << 64
+
+    def test_address_at(self):
+        prefix = IPv6Prefix.parse("2001:db8::/64")
+        assert prefix.address_at(5).value == prefix.network + 5
+        with pytest.raises(ValueError):
+            prefix.address_at(1 << 64)
+
+    def test_random_address_inside(self, rng):
+        prefix = IPv6Prefix.parse("2001:db8::/32")
+        for _ in range(50):
+            assert prefix.random_address(rng) in prefix
+
+    def test_random_address_128(self, rng):
+        prefix = IPv6Prefix.parse("2001:db8::1/128")
+        assert prefix.random_address(rng).value == prefix.network
+
+    def test_subnets(self):
+        prefix = IPv6Prefix.parse("2001:db8::/32")
+        subs = list(prefix.subnets(34))
+        assert len(subs) == 4
+        assert subs[0].network == prefix.network
+        assert all(prefix.contains_prefix(s) for s in subs)
+
+    def test_subnets_refuses_explosion(self):
+        with pytest.raises(ValueError):
+            list(IPv6Prefix.parse("2001:db8::/32").subnets(64))
+
+    def test_subnet_at(self):
+        prefix = IPv6Prefix.parse("2001:db8::/32")
+        sub = prefix.subnet_at(3, 48)
+        assert sub == IPv6Prefix.parse("2001:db8:3::/48")
+        with pytest.raises(ValueError):
+            prefix.subnet_at(1 << 16, 48)
+
+    def test_supernet(self):
+        sub = IPv6Prefix.parse("2001:db8:3::/48")
+        assert sub.supernet(32) == IPv6Prefix.parse("2001:db8::/32")
+        with pytest.raises(ValueError):
+            sub.supernet(64)
+
+    @given(addresses, prefix_lengths)
+    def test_address_always_in_own_prefix(self, value, length):
+        addr = IPv6Address(value)
+        assert addr in addr.prefix(length)
+
+    @given(addresses, st.integers(min_value=1, max_value=127))
+    def test_subnet_at_roundtrip(self, value, length):
+        prefix = IPv6Address(value).prefix(length)
+        assert prefix.subnet_at(0, length) == prefix
+
+
+class TestAggregation:
+    def test_aggregate_scalar(self):
+        value = parse_address("2001:db8:1:2::9")
+        assert aggregate(value, 48) == parse_address("2001:db8:1::")
+
+    def test_aggregate_sources(self):
+        values = [parse_address("2001:db8::1"), parse_address("2001:db8::2"),
+                  parse_address("2001:db9::1")]
+        assert len(aggregate_sources(values, 32)) == 2
+        assert len(aggregate_sources(values, 128)) == 3
+
+    @given(st.lists(addresses, max_size=20), prefix_lengths)
+    def test_split_mask_join_matches_scalar(self, values, length):
+        hi, lo = split_u64(values)
+        mhi, mlo = mask_u64(hi, lo, length)
+        assert join_u64(mhi, mlo) == [aggregate(v, length) for v in values]
+
+    def test_mask_u64_rejects_bad_length(self):
+        hi, lo = split_u64([1])
+        with pytest.raises(ValueError):
+            mask_u64(hi, lo, 129)

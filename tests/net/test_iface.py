@@ -1,0 +1,97 @@
+"""Tests for simulated interfaces and links."""
+
+import pytest
+
+from repro.net.addr import IPv6Prefix
+from repro.net.iface import Interface, Link
+from repro.net.packet import icmp_echo_request
+
+
+@pytest.fixture
+def prefix():
+    return IPv6Prefix.parse("2001:db8:1::/48")
+
+
+def test_claim_and_own(prefix):
+    iface = Interface("eth0")
+    iface.claim(prefix)
+    assert iface.owns(prefix.network | 5)
+    assert not iface.owns(0)
+
+
+def test_claim_all_and_release(prefix):
+    other = IPv6Prefix.parse("2001:db8:2::/48")
+    iface = Interface("eth0")
+    iface.claim_all([prefix, other])
+    assert iface.owns(other.network | 1)
+    iface.release(other)
+    assert not iface.owns(other.network | 1)
+    with pytest.raises(ValueError):
+        iface.release(other)
+
+
+def test_link_delivery_and_counters(prefix):
+    received = []
+    iface = Interface("pot0", handler=received.append)
+    iface.claim(prefix)
+    link = Link()
+    link.attach(iface)
+    pkt = icmp_echo_request(1.0, 99, prefix.network | 1)
+    link.inject(pkt)
+    assert received == [pkt]
+    assert link.delivered == 1
+    assert iface.rx_count == 1
+
+
+def test_link_drops_unowned():
+    link = Link()
+    link.attach(Interface("pot0"))
+    link.inject(icmp_echo_request(1.0, 99, 42))
+    assert link.dropped == 1
+
+
+def test_sender_does_not_receive_own_packet(prefix):
+    received = []
+    a = Interface("a", handler=received.append)
+    a.claim(prefix)
+    link = Link()
+    link.attach(a)
+    # a sends a packet to its own prefix: must not be self-delivered.
+    a.transmit(icmp_echo_request(1.0, 99, prefix.network | 1))
+    assert received == []
+    assert link.dropped == 1
+    assert a.tx_count == 1
+
+
+def test_transmit_requires_attachment():
+    iface = Interface("lonely")
+    with pytest.raises(RuntimeError):
+        iface.transmit(icmp_echo_request(1.0, 1, 2))
+
+
+def test_response_flows_back():
+    """An interface handler answering a ping reaches the scanner side."""
+    pot_prefix = IPv6Prefix.parse("2001:db8:1::/48")
+    scanner_prefix = IPv6Prefix.parse("2001:db8:f::/48")
+    replies = []
+    scanner = Interface("scanner", handler=replies.append)
+    scanner.claim(scanner_prefix)
+
+    pot = Interface("pot")
+    pot.claim(pot_prefix)
+
+    def answer(pkt):
+        from repro.net.packet import icmp_echo_reply
+
+        pot.transmit(icmp_echo_reply(pkt))
+
+    pot.set_handler(answer)
+    link = Link()
+    link.attach(scanner)
+    link.attach(pot)
+    scanner.transmit(
+        icmp_echo_request(1.0, scanner_prefix.network | 1,
+                          pot_prefix.network | 1)
+    )
+    assert len(replies) == 1
+    assert replies[0].src == pot_prefix.network | 1

@@ -1,0 +1,87 @@
+"""Tests for repro.net.packet."""
+
+import pytest
+
+from repro.net.packet import (
+    ICMPV6,
+    TCP,
+    UDP,
+    IcmpType,
+    Packet,
+    TcpFlags,
+    icmp_echo_reply,
+    icmp_echo_request,
+    tcp_segment,
+    udp_datagram,
+)
+
+
+class TestPacketValidation:
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            Packet(timestamp=0.0, src=1, dst=2, proto=99)
+
+    def test_rejects_bad_ports(self):
+        with pytest.raises(ValueError):
+            Packet(timestamp=0.0, src=1, dst=2, proto=TCP, sport=70000)
+
+    def test_rejects_bad_hop_limit(self):
+        with pytest.raises(ValueError):
+            Packet(timestamp=0.0, src=1, dst=2, proto=TCP, hop_limit=300)
+
+    def test_proto_name(self):
+        assert Packet(timestamp=0, src=1, dst=2, proto=ICMPV6).proto_name == "icmpv6"
+        assert Packet(timestamp=0, src=1, dst=2, proto=TCP).proto_name == "tcp"
+        assert Packet(timestamp=0, src=1, dst=2, proto=UDP).proto_name == "udp"
+
+
+class TestIcmp:
+    def test_echo_request_fields(self):
+        pkt = icmp_echo_request(3.0, 10, 20, ident=7)
+        assert pkt.is_icmp_echo_request
+        assert pkt.sport == int(IcmpType.ECHO_REQUEST)
+        assert pkt.dport == 7
+
+    def test_echo_reply_swaps_addresses(self):
+        request = icmp_echo_request(3.0, 10, 20, payload=b"ping")
+        reply = icmp_echo_reply(request)
+        assert reply.src == 20 and reply.dst == 10
+        assert reply.sport == int(IcmpType.ECHO_REPLY)
+        assert reply.payload == b"ping"
+
+    def test_echo_reply_timestamp_override(self):
+        request = icmp_echo_request(3.0, 10, 20)
+        assert icmp_echo_reply(request, timestamp=9.0).timestamp == 9.0
+
+    def test_echo_reply_rejects_non_request(self):
+        pkt = udp_datagram(0.0, 1, 2, 3, 4)
+        with pytest.raises(ValueError):
+            icmp_echo_reply(pkt)
+
+    def test_echo_reply_is_not_a_request(self):
+        request = icmp_echo_request(3.0, 10, 20)
+        assert not icmp_echo_reply(request).is_icmp_echo_request
+
+
+class TestTcp:
+    def test_syn_detection(self):
+        syn = tcp_segment(0.0, 1, 2, 1000, 80, TcpFlags.SYN)
+        assert syn.is_tcp_syn
+
+    def test_synack_is_not_syn(self):
+        synack = tcp_segment(0.0, 1, 2, 80, 1000,
+                             TcpFlags.SYN | TcpFlags.ACK)
+        assert not synack.is_tcp_syn
+
+    def test_seq_ack_carried(self):
+        pkt = tcp_segment(0.0, 1, 2, 1, 2, TcpFlags.ACK, seq=5, ack=9)
+        assert pkt.seq == 5 and pkt.ack == 9
+
+
+class TestReplyTemplate:
+    def test_swaps_everything(self):
+        pkt = udp_datagram(1.0, 10, 20, 1111, 53, b"q")
+        reply = pkt.reply_template()
+        assert (reply.src, reply.dst) == (20, 10)
+        assert (reply.sport, reply.dport) == (53, 1111)
+        assert reply.payload == b""

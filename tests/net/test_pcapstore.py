@@ -1,0 +1,76 @@
+"""Tests for capture files and BPF-lite filters."""
+
+import pytest
+
+from repro.net.addr import IPv6Prefix
+from repro.net.packet import ICMPV6, TCP, icmp_echo_request, tcp_segment, TcpFlags
+from repro.net.pcapstore import PacketFilter, PacketReader, PacketWriter, read_packets
+
+
+@pytest.fixture
+def sample_packets():
+    prefix = IPv6Prefix.parse("2001:db8:1::/48")
+    return [
+        icmp_echo_request(1.0, 100, prefix.network | 1),
+        tcp_segment(2.0, 200, prefix.network | 2, 4000, 80, TcpFlags.SYN),
+        icmp_echo_request(10.0, 100, 999),
+    ]
+
+
+def test_write_then_read(tmp_path, sample_packets):
+    path = tmp_path / "cap.rpv6"
+    with PacketWriter(path) as writer:
+        assert writer.write_all(sample_packets) == 3
+        assert writer.count == 3
+    assert read_packets(path) == sample_packets
+
+
+def test_reader_with_filter(tmp_path, sample_packets):
+    path = tmp_path / "cap.rpv6"
+    with PacketWriter(path) as writer:
+        writer.write_all(sample_packets)
+    got = read_packets(path, PacketFilter.proto(TCP))
+    assert [p.proto for p in got] == [TCP]
+
+
+def test_reader_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"not a capture")
+    with pytest.raises(ValueError):
+        PacketReader(path)
+
+
+class TestPacketFilter:
+    def test_proto(self, sample_packets):
+        f = PacketFilter.proto(ICMPV6)
+        assert [f(p) for p in sample_packets] == [True, False, True]
+
+    def test_dport(self, sample_packets):
+        assert PacketFilter.dport(80)(sample_packets[1])
+
+    def test_dst_in(self, sample_packets):
+        f = PacketFilter.dst_in(IPv6Prefix.parse("2001:db8:1::/48"))
+        assert [f(p) for p in sample_packets] == [True, True, False]
+
+    def test_src_in(self, sample_packets):
+        f = PacketFilter.src_in(IPv6Prefix.parse("::/120"))
+        assert all(f(p) for p in sample_packets)
+
+    def test_between(self, sample_packets):
+        f = PacketFilter.between(0.5, 5.0)
+        assert [f(p) for p in sample_packets] == [True, True, False]
+
+    def test_between_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            PacketFilter.between(5.0, 1.0)
+
+    def test_and_or_not(self, sample_packets):
+        icmp = PacketFilter.proto(ICMPV6)
+        early = PacketFilter.between(0.0, 5.0)
+        assert (icmp & early)(sample_packets[0])
+        assert not (icmp & early)(sample_packets[2])
+        assert (icmp | early)(sample_packets[1])
+        assert (~icmp)(sample_packets[1])
+
+    def test_everything(self, sample_packets):
+        assert all(PacketFilter.everything()(p) for p in sample_packets)

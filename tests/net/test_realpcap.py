@@ -1,0 +1,141 @@
+"""Tests for standard-pcap interop (real frames, real checksums)."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addr import MAX_ADDRESS
+from repro.net.packet import (
+    ICMPV6,
+    TCP,
+    UDP,
+    Packet,
+    TcpFlags,
+    icmp_echo_request,
+    tcp_segment,
+    udp_datagram,
+)
+from repro.net.realpcap import (
+    ETHERTYPE_IPV6,
+    parse_frame,
+    read_pcap,
+    serialize_frame,
+    verify_checksums,
+    write_pcap,
+)
+
+SRC = 0x20010DB8_0000_0000_0000_0000_0000_0001
+DST = 0x20010DB8_0001_0000_0000_0000_0000_0099
+
+
+@pytest.fixture
+def sample_packets():
+    return [
+        icmp_echo_request(1.5, SRC, DST, ident=7, payload=b"ping"),
+        tcp_segment(2.25, SRC, DST, 4000, 443, TcpFlags.SYN, seq=123),
+        udp_datagram(3.75, SRC, DST, 5000, 53, payload=b"\x12\x34q"),
+    ]
+
+
+class TestFrames:
+    def test_frame_layout(self, sample_packets):
+        frame = serialize_frame(sample_packets[0])
+        assert struct.unpack_from("!H", frame, 12)[0] == ETHERTYPE_IPV6
+        version = frame[14] >> 4
+        assert version == 6
+        assert frame[14 + 6] == ICMPV6  # next header
+        assert frame[14 + 8:14 + 24] == SRC.to_bytes(16, "big")
+        assert frame[14 + 24:14 + 40] == DST.to_bytes(16, "big")
+
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_checksums_valid(self, sample_packets, index):
+        assert verify_checksums(serialize_frame(sample_packets[index]))
+
+    def test_corrupted_checksum_detected(self, sample_packets):
+        frame = bytearray(serialize_frame(sample_packets[1]))
+        frame[-1] ^= 0xFF  # flip payload bits -> checksum mismatch
+        assert not verify_checksums(bytes(frame))
+
+    def test_parse_roundtrip_core_fields(self, sample_packets):
+        for pkt in sample_packets:
+            parsed = parse_frame(serialize_frame(pkt), pkt.timestamp)
+            assert parsed is not None
+            assert (parsed.src, parsed.dst) == (pkt.src, pkt.dst)
+            assert parsed.proto == pkt.proto
+            assert parsed.payload == pkt.payload
+            if pkt.proto != ICMPV6:
+                assert (parsed.sport, parsed.dport) == (pkt.sport, pkt.dport)
+
+    def test_non_ipv6_frame_ignored(self):
+        frame = b"\x00" * 12 + struct.pack("!H", 0x0800) + b"\x00" * 60
+        assert parse_frame(frame, 0.0) is None
+
+
+class TestFileRoundtrip:
+    def test_write_read(self, tmp_path, sample_packets):
+        path = tmp_path / "capture.pcap"
+        assert write_pcap(path, sample_packets) == 3
+        parsed = list(read_pcap(path))
+        assert len(parsed) == 3
+        for original, got in zip(sample_packets, parsed):
+            assert got.timestamp == pytest.approx(original.timestamp,
+                                                  abs=1e-5)
+            assert got.src == original.src
+            assert got.payload == original.payload
+
+    def test_stream_io(self, sample_packets):
+        buffer = io.BytesIO()
+        write_pcap(buffer, sample_packets)
+        buffer.seek(0)
+        assert len(list(read_pcap(buffer))) == 3
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            list(read_pcap(io.BytesIO(b"\x00" * 24)))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            list(read_pcap(io.BytesIO(b"\x00" * 4)))
+
+    def test_global_header_is_standard(self, tmp_path, sample_packets):
+        path = tmp_path / "capture.pcap"
+        write_pcap(path, sample_packets)
+        header = path.read_bytes()[:24]
+        magic, major, minor = struct.unpack_from("<IHH", header)
+        assert magic == 0xA1B2C3D4
+        assert (major, minor) == (2, 4)
+
+
+packets_strategy = st.builds(
+    Packet,
+    timestamp=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    src=st.integers(min_value=0, max_value=MAX_ADDRESS),
+    dst=st.integers(min_value=0, max_value=MAX_ADDRESS),
+    proto=st.sampled_from([ICMPV6, TCP, UDP]),
+    sport=st.integers(min_value=0, max_value=255),
+    dport=st.integers(min_value=0, max_value=0xFFFF),
+    flags=st.integers(min_value=0, max_value=0x3F),
+    hop_limit=st.integers(min_value=0, max_value=255),
+    payload=st.binary(max_size=32),
+    seq=st.integers(min_value=0, max_value=0xFFFF),
+    ack=st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+
+
+@given(packets_strategy)
+@settings(max_examples=100, deadline=None)
+def test_every_serialized_frame_has_valid_checksum(pkt):
+    assert verify_checksums(serialize_frame(pkt))
+
+
+@given(packets_strategy)
+@settings(max_examples=100, deadline=None)
+def test_parse_preserves_addresses_and_payload(pkt):
+    parsed = parse_frame(serialize_frame(pkt), pkt.timestamp)
+    assert parsed is not None
+    assert (parsed.src, parsed.dst, parsed.proto) == (
+        pkt.src, pkt.dst, pkt.proto
+    )
+    assert parsed.payload == pkt.payload

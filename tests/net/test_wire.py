@@ -1,0 +1,84 @@
+"""Tests for the capture wire format."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import wire
+from repro.net.addr import MAX_ADDRESS
+from repro.net.packet import ICMPV6, TCP, UDP, Packet
+
+packets = st.builds(
+    Packet,
+    timestamp=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    src=st.integers(min_value=0, max_value=MAX_ADDRESS),
+    dst=st.integers(min_value=0, max_value=MAX_ADDRESS),
+    proto=st.sampled_from([ICMPV6, TCP, UDP]),
+    sport=st.integers(min_value=0, max_value=0xFFFF),
+    dport=st.integers(min_value=0, max_value=0xFFFF),
+    flags=st.integers(min_value=0, max_value=0xFF),
+    hop_limit=st.integers(min_value=0, max_value=255),
+    payload=st.binary(max_size=64),
+    seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ack=st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+
+
+@given(packets)
+def test_encode_decode_roundtrip(pkt):
+    assert wire.decode_packet(wire.encode_packet(pkt)) == pkt
+
+
+def test_header_roundtrip():
+    buf = io.BytesIO()
+    wire.write_header(buf)
+    buf.seek(0)
+    wire.read_header(buf)  # must not raise
+
+
+def test_bad_magic_rejected():
+    buf = io.BytesIO(b"XXXX\x01\x00\x00\x00")
+    with pytest.raises(ValueError, match="magic"):
+        wire.read_header(buf)
+
+
+def test_bad_version_rejected():
+    buf = io.BytesIO(b"RPV6\x02\x00\x00\x00")
+    with pytest.raises(ValueError, match="version"):
+        wire.read_header(buf)
+
+
+def test_truncated_record_rejected():
+    pkt = Packet(timestamp=1.0, src=1, dst=2, proto=TCP, payload=b"abcd")
+    encoded = wire.encode_packet(pkt)
+    with pytest.raises(ValueError):
+        wire.decode_packet(encoded[:10])
+    with pytest.raises(ValueError):
+        wire.decode_packet(encoded[:-2])
+
+
+def test_stream_packets_multiple():
+    pkts = [Packet(timestamp=float(i), src=i, dst=i + 1, proto=UDP,
+                   payload=bytes([i]))
+            for i in range(5)]
+    buf = io.BytesIO()
+    for pkt in pkts:
+        buf.write(wire.encode_packet(pkt))
+    buf.seek(0)
+    assert list(wire.stream_packets(buf)) == pkts
+
+
+def test_stream_detects_truncation():
+    pkt = Packet(timestamp=1.0, src=1, dst=2, proto=TCP, payload=b"abcd")
+    data = wire.encode_packet(pkt)
+    buf = io.BytesIO(data[:-1])
+    with pytest.raises(ValueError):
+        list(wire.stream_packets(buf))
+
+
+def test_oversize_payload_rejected():
+    pkt = Packet(timestamp=1.0, src=1, dst=2, proto=TCP,
+                 payload=b"x" * 70_000)
+    with pytest.raises(ValueError):
+        wire.encode_packet(pkt)

@@ -1,0 +1,106 @@
+"""Tests for the collector system and propagation model."""
+
+import pytest
+
+from repro.net.addr import IPv6Prefix
+from repro.routing.collectors import CollectorSystem, RouteCollector
+from repro.routing.messages import Announcement, Withdrawal
+from repro.routing.rpki import Roa, RoaRegistry
+
+
+def _announce(prefix: str, asn: int = 64500, at: float = 100.0) -> Announcement:
+    return Announcement(IPv6Prefix.parse(prefix), asn, at, (asn,))
+
+
+class TestPropagation:
+    def test_48_reaches_most_collectors(self):
+        system = CollectorSystem(rng=0)
+        reached = system.announce(_announce("2001:db8:1::/48"))
+        assert 20 <= len(reached) <= 36
+
+    def test_hyper_specific_reaches_only_permissive(self):
+        system = CollectorSystem(rng=0, n_permissive=5)
+        reached = system.announce(_announce("2001:db8:1:8000::/56"))
+        assert len(reached) == 5
+        assert all(c.accepts_hyper_specific for c in reached)
+
+    def test_visibility_count_tracks_time(self):
+        system = CollectorSystem(rng=0)
+        system.announce(_announce("2001:db8:1::/48", at=100.0))
+        prefix = IPv6Prefix.parse("2001:db8:1::/48")
+        assert system.visibility_count(prefix, 99.0) == 0
+        assert system.visibility_count(prefix, 100.0 + 3600) >= 20
+
+    def test_withdrawal_clears_visibility(self):
+        system = CollectorSystem(rng=0)
+        system.announce(_announce("2001:db8:1::/48", at=100.0))
+        prefix = IPv6Prefix.parse("2001:db8:1::/48")
+        system.withdraw(Withdrawal(prefix, 64500, 10_000.0))
+        assert system.visibility_count(prefix, 20_000.0) == 0
+
+    def test_rpki_strict_collectors_reject_unregistered(self):
+        registry = RoaRegistry()
+        system = CollectorSystem(rng=0, roa_registry=registry)
+        strict = sum(1 for c in system.collectors if c.rpki_strict)
+        assert strict > 0
+        reached = system.announce(_announce("2001:db8:1::/48"))
+        assert all(not c.rpki_strict for c in reached)
+
+    def test_rpki_valid_passes_strict(self):
+        registry = RoaRegistry()
+        registry.register(Roa(IPv6Prefix.parse("2001:db8::/32"), 64500,
+                              max_length=48))
+        system = CollectorSystem(rng=0, roa_registry=registry)
+        reached = system.announce(_announce("2001:db8:1::/48"))
+        assert any(c.rpki_strict for c in reached)
+
+    def test_rejects_bad_permissive_count(self):
+        with pytest.raises(ValueError):
+            CollectorSystem(n_permissive=50, n_collectors=36)
+
+
+class TestFeeds:
+    def test_new_prefixes_dedup(self):
+        system = CollectorSystem(rng=0)
+        system.announce(_announce("2001:db8:1::/48", at=100.0))
+        new = system.new_prefixes(0.0, 1e6)
+        assert list(new) == [IPv6Prefix.parse("2001:db8:1::/48")]
+        # earliest visibility across collectors
+        assert new[IPv6Prefix.parse("2001:db8:1::/48")] >= 100.0
+
+    def test_new_prefixes_excludes_withdrawals(self):
+        system = CollectorSystem(rng=0)
+        system.announce(_announce("2001:db8:1::/48", at=100.0))
+        system.withdraw(Withdrawal(IPv6Prefix.parse("2001:db8:1::/48"),
+                                   64500, 5_000.0))
+        # Withdrawal events are in the update feed but not in new_prefixes.
+        assert any(e.is_withdrawal
+                   for e in system.visible_updates(4_000.0, 1e6))
+        assert IPv6Prefix.parse("2001:db8:1::/48") not in system.new_prefixes(
+            4_000.0, 1e6
+        )
+
+    def test_poll_window_semantics(self):
+        system = CollectorSystem(rng=0)
+        system.announce(_announce("2001:db8:1::/48", at=100.0))
+        # Everything visible by t=1e6; nothing visible in a later window.
+        assert len(list(system.visible_updates(1e6, 2e6))) == 0
+
+
+class TestRouteCollector:
+    def test_events_sorted_by_visibility(self):
+        collector = RouteCollector("rc")
+        a1 = _announce("2001:db8:1::/48", at=100.0)
+        a2 = _announce("2001:db8:2::/48", at=50.0)
+        collector.record(a1, visible_at=500.0)
+        collector.record(a2, visible_at=200.0)
+        times = [e.visible_at for e in collector.events()]
+        assert times == sorted(times)
+
+    def test_carries_respects_withdrawal_order(self):
+        collector = RouteCollector("rc")
+        prefix = IPv6Prefix.parse("2001:db8:1::/48")
+        collector.record(_announce("2001:db8:1::/48"), visible_at=100.0)
+        collector.record(Withdrawal(prefix, 64500, 200.0), visible_at=300.0)
+        assert collector.carries(prefix, 150.0)
+        assert not collector.carries(prefix, 400.0)

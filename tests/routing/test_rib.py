@@ -1,0 +1,99 @@
+"""Tests for the RIB, including a brute-force LPM property check."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import MAX_ADDRESS, IPv6Address, IPv6Prefix
+from repro.routing.rib import Rib, Route
+
+
+def _route(text: str, asn: int = 1) -> Route:
+    return Route(prefix=IPv6Prefix.parse(text), origin_asn=asn)
+
+
+class TestRibBasics:
+    def test_insert_and_exact(self):
+        rib = Rib()
+        route = _route("2001:db8::/32")
+        rib.insert(route)
+        assert rib.exact(route.prefix) is route
+        assert len(rib) == 1
+        assert route.prefix in rib
+
+    def test_replace_same_prefix(self):
+        rib = Rib()
+        rib.insert(_route("2001:db8::/32", asn=1))
+        rib.insert(_route("2001:db8::/32", asn=2))
+        assert len(rib) == 1
+        assert rib.exact(IPv6Prefix.parse("2001:db8::/32")).origin_asn == 2
+
+    def test_withdraw(self):
+        rib = Rib()
+        route = _route("2001:db8::/32")
+        rib.insert(route)
+        assert rib.withdraw(route.prefix) is route
+        assert rib.withdraw(route.prefix) is None
+        assert len(rib) == 0
+
+    def test_lookup_longest_match(self):
+        rib = Rib()
+        rib.insert(_route("2001:db8::/32", asn=1))
+        rib.insert(_route("2001:db8:5::/48", asn=2))
+        inside = IPv6Address.parse("2001:db8:5::9").value
+        outside = IPv6Address.parse("2001:db8:6::9").value
+        assert rib.lookup(inside).origin_asn == 2
+        assert rib.lookup(outside).origin_asn == 1
+        assert rib.lookup(0) is None
+
+    def test_lookup_after_withdrawing_specific(self):
+        rib = Rib()
+        rib.insert(_route("2001:db8::/32", asn=1))
+        rib.insert(_route("2001:db8:5::/48", asn=2))
+        rib.withdraw(IPv6Prefix.parse("2001:db8:5::/48"))
+        inside = IPv6Address.parse("2001:db8:5::9").value
+        assert rib.lookup(inside).origin_asn == 1
+
+    def test_covered_by(self):
+        rib = Rib()
+        rib.insert(_route("2001:db8::/32"))
+        rib.insert(_route("2001:db8:5::/48"))
+        rib.insert(_route("2002::/16"))
+        covered = rib.covered_by(IPv6Prefix.parse("2001:db8::/32"))
+        assert {str(r.prefix) for r in covered} == {
+            "2001:db8::/32", "2001:db8:5::/48"
+        }
+
+    def test_routes_iteration(self):
+        rib = Rib()
+        rib.insert(_route("2001:db8::/32"))
+        rib.insert(_route("2002::/16"))
+        assert len(list(rib.routes())) == 2
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=MAX_ADDRESS),
+            st.integers(min_value=0, max_value=128),
+        ),
+        min_size=1, max_size=30,
+    ),
+    st.integers(min_value=0, max_value=MAX_ADDRESS),
+)
+def test_lpm_matches_bruteforce(entries, probe):
+    rib = Rib()
+    prefixes = []
+    for value, length in entries:
+        prefix = IPv6Address(value).prefix(length)
+        prefixes.append(prefix)
+        rib.insert(Route(prefix=prefix, origin_asn=length + 1))
+    expected = None
+    for prefix in prefixes:
+        if probe in prefix:
+            if expected is None or prefix.length > expected.length:
+                expected = prefix
+    got = rib.lookup(probe)
+    if expected is None:
+        assert got is None
+    else:
+        assert got.prefix.length == expected.length

@@ -1,0 +1,70 @@
+"""Tests for ROA validation."""
+
+import pytest
+
+from repro.net.addr import IPv6Prefix
+from repro.routing.rpki import Roa, RoaRegistry, RpkiValidity
+
+
+@pytest.fixture
+def registry():
+    reg = RoaRegistry()
+    reg.register(Roa(IPv6Prefix.parse("2001:db8::/32"), asn=64500,
+                     max_length=48, registered_at=100.0))
+    return reg
+
+
+def test_valid(registry):
+    assert registry.validate(
+        IPv6Prefix.parse("2001:db8:5::/48"), 64500
+    ) is RpkiValidity.VALID
+
+
+def test_invalid_wrong_origin(registry):
+    assert registry.validate(
+        IPv6Prefix.parse("2001:db8:5::/48"), 64501
+    ) is RpkiValidity.INVALID
+
+
+def test_invalid_too_long(registry):
+    assert registry.validate(
+        IPv6Prefix.parse("2001:db8:5:8000::/49"), 64500
+    ) is RpkiValidity.INVALID
+
+
+def test_not_found(registry):
+    assert registry.validate(
+        IPv6Prefix.parse("2002::/16"), 64500
+    ) is RpkiValidity.NOT_FOUND
+
+
+def test_time_gating(registry):
+    """A ROA cannot protect a route announced before it existed."""
+    prefix = IPv6Prefix.parse("2001:db8:5::/48")
+    assert registry.validate(prefix, 64500, at=50.0) is RpkiValidity.NOT_FOUND
+    assert registry.validate(prefix, 64500, at=150.0) is RpkiValidity.VALID
+
+
+def test_roa_validates_own_prefix(registry):
+    assert registry.validate(
+        IPv6Prefix.parse("2001:db8::/32"), 64500
+    ) is RpkiValidity.VALID
+
+
+def test_roa_rejects_bad_max_length():
+    with pytest.raises(ValueError):
+        Roa(IPv6Prefix.parse("2001:db8::/32"), asn=1, max_length=16)
+    with pytest.raises(ValueError):
+        Roa(IPv6Prefix.parse("2001:db8::/32"), asn=1, max_length=129)
+
+
+def test_roa_rejects_bad_asn():
+    with pytest.raises(ValueError):
+        Roa(IPv6Prefix.parse("2001:db8::/32"), asn=0, max_length=48)
+
+
+def test_covers():
+    roa = Roa(IPv6Prefix.parse("2001:db8::/32"), asn=1, max_length=48)
+    assert roa.covers(IPv6Prefix.parse("2001:db8:1::/48"))
+    assert not roa.covers(IPv6Prefix.parse("2001:db8:1:8000::/49"))
+    assert not roa.covers(IPv6Prefix.parse("2002::/32"))

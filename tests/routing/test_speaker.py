@@ -1,0 +1,65 @@
+"""Tests for the BGP speaker."""
+
+import pytest
+
+from repro.net.addr import IPv6Prefix
+from repro.routing.collectors import CollectorSystem
+from repro.routing.messages import Announcement, Withdrawal
+from repro.routing.rpki import RoaRegistry
+from repro.routing.speaker import BgpSpeaker
+
+
+@pytest.fixture
+def speaker():
+    registry = RoaRegistry()
+    collectors = CollectorSystem(rng=0, roa_registry=registry)
+    return BgpSpeaker(64500, collectors, registry)
+
+
+def test_announce_installs_locally_and_propagates(speaker):
+    prefix = IPv6Prefix.parse("2001:db8:1::/48")
+    speaker.register_roa(prefix, at=0.0)
+    speaker.announce(prefix, at=100.0)
+    assert prefix in [r.prefix for r in speaker.local_rib.routes()]
+    assert speaker.collectors.visibility_count(prefix, 1e5) > 0
+    assert speaker.originated() == [prefix]
+
+
+def test_withdraw_requires_origination(speaker):
+    prefix = IPv6Prefix.parse("2001:db8:1::/48")
+    with pytest.raises(ValueError):
+        speaker.withdraw(prefix, at=100.0)
+
+
+def test_withdraw_round_trip(speaker):
+    prefix = IPv6Prefix.parse("2001:db8:1::/48")
+    speaker.register_roa(prefix, at=0.0)
+    speaker.announce(prefix, at=100.0)
+    speaker.withdraw(prefix, at=10_000.0)
+    assert speaker.originated() == []
+    assert speaker.collectors.visibility_count(prefix, 1e6) == 0
+    kinds = [type(m) for m in speaker.history]
+    assert kinds == [Announcement, Withdrawal]
+
+
+def test_register_roa_requires_registry():
+    speaker = BgpSpeaker(64500, CollectorSystem(rng=0))
+    with pytest.raises(RuntimeError):
+        speaker.register_roa(IPv6Prefix.parse("2001:db8::/32"), at=0.0)
+
+
+def test_rejects_bad_asn():
+    with pytest.raises(ValueError):
+        BgpSpeaker(0, CollectorSystem(rng=0))
+
+
+def test_announcement_path_validation():
+    with pytest.raises(ValueError):
+        Announcement(IPv6Prefix.parse("2001:db8::/32"), 64500, 0.0,
+                     as_path=(1, 2))
+
+
+def test_announcement_extended():
+    ann = Announcement(IPv6Prefix.parse("2001:db8::/32"), 64500, 0.0,
+                       as_path=(64500,))
+    assert ann.extended(100).as_path == (100, 64500)

@@ -1,0 +1,84 @@
+"""Tests for the calibrated population builder."""
+
+import pytest
+
+from repro.datasets.asdb import AsCategory
+from repro.scanners.identity import AllocationMode
+from repro.scanners.population import PopulationSpec, build_population
+from repro.sim.fabric import InternetFabric
+
+
+@pytest.fixture(scope="module")
+def population():
+    fabric = InternetFabric(rng=3)
+    spec = PopulationSpec(volume_scale=1e-4, n_tail=40)
+    return fabric, build_population(fabric, spec, rng=4)
+
+
+def test_heavy_hitters_present(population):
+    _, agents = population
+    names = {a.identity.as_name for a in agents}
+    for expected in ("AMAZON-02", "CNGI-CERNET", "AMAZON-AES",
+                     "TSINGHUA-UNIVERSITY", "HURRICANE", "DIGITALOCEAN",
+                     "ALPHASTRIKE-LABS", "SHADOWSERVER",
+                     "INTERNET-MEASUREMENT"):
+        assert expected in names
+
+
+def test_all_agents_registered_in_metadata(population):
+    fabric, agents = population
+    for agent in agents:
+        identity = agent.identity
+        assert identity.asn in fabric.asdb
+        probe = identity.source_prefix.network | 1
+        assert fabric.prefix2as.lookup(probe) == identity.asn
+        assert fabric.geodb.lookup(probe) == identity.country
+
+
+def test_scanner_ases_overridden(population):
+    fabric, _ = population
+    # The paper manually pinned these to Internet Scanner.
+    for asn in (208843, 211298, 63931):
+        assert fabric.asdb.classify(asn) is AsCategory.INTERNET_SCANNER
+
+
+def test_alphastrike_spreads_per_packet_over_30(population):
+    _, agents = population
+    alpha = next(a for a in agents
+                 if a.identity.as_name == "ALPHASTRIKE-LABS")
+    assert alpha.identity.allocation is AllocationMode.PER_PACKET
+    assert alpha.identity.source_prefix.length == 30
+    assert alpha.identity.country == "DE"
+
+
+def test_cernet_pool_shape(population):
+    _, agents = population
+    cernet = next(a for a in agents if a.identity.as_name == "CNGI-CERNET")
+    assert cernet.identity.pool_size == 46
+    assert cernet.identity.pool_subnets == 4
+
+
+def test_tail_count(population):
+    _, agents = population
+    tails = [a for a in agents if a.identity.as_name.startswith("TAIL-AS")]
+    assert len(tails) == 40
+    assert all(a.strategies for a in tails)
+
+
+def test_source_scale_shrinks_pools():
+    fabric = InternetFabric(rng=5)
+    spec = PopulationSpec(volume_scale=1e-4, n_tail=0,
+                          source_scale=0.01)
+    agents = build_population(fabric, spec, rng=6)
+    amazon = next(a for a in agents if a.identity.as_name == "AMAZON-02")
+    assert amazon.identity.pool_size == 440
+
+
+def test_heavy_hitters_can_be_disabled():
+    fabric = InternetFabric(rng=7)
+    spec = PopulationSpec(volume_scale=1e-4, n_tail=5,
+                          include_heavy_hitters=False,
+                          include_scanner_ases=False)
+    agents = build_population(fabric, spec, rng=8)
+    names = {a.identity.as_name for a in agents}
+    assert all(n.startswith(("TAIL-AS", "CURIOUS-AS")) for n in names)

@@ -1,0 +1,176 @@
+"""Tests for the 6Tree and entropy TGAs and the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.net.addr import IPv6Prefix
+from repro.scanners.entropy_tga import EntropyTga
+from repro.scanners.tga6tree import SixTreeTga, build_space_tree
+from repro.scanners.tga_eval import evaluate_tgas
+
+P1 = IPv6Prefix.parse("2001:db8:1::/48")
+P2 = IPv6Prefix.parse("2001:db8:2::/48")
+
+
+def _structured_world():
+    """Live hosts: low addresses in the first 16 /64s of P1, plus one
+    dense /64 in P2."""
+    live = set()
+    for subnet in range(16):
+        for host in range(1, 40):
+            live.add(P1.network | (subnet << 64) | host)
+    for host in range(1, 200):
+        live.add(P2.network | (0x99 << 64) | host)
+    return live
+
+
+@pytest.fixture
+def world(rng):
+    live = _structured_world()
+    seeds = [int(s) for s in rng.choice(sorted(live), size=60,
+                                        replace=False)]
+    oracle = lambda addr, at: addr in live
+    return live, seeds, oracle
+
+
+class TestSpaceTree:
+    def test_tree_partitions_seeds(self, world):
+        _, seeds, _ = world
+        tree = build_space_tree(seeds, max_leaf_seeds=8)
+        leaf_seeds = []
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaf_seeds.extend(node.seeds)
+            else:
+                stack.extend(node.children)
+        assert sorted(leaf_seeds) == sorted(set(seeds))
+
+    def test_children_contain_their_seeds(self, world):
+        _, seeds, _ = world
+        tree = build_space_tree(seeds)
+        stack = list(tree.children)
+        while stack:
+            node = stack.pop()
+            assert all(node.contains(s) for s in node.seeds)
+            stack.extend(node.children)
+
+    def test_generate_respects_prefix(self, world, rng):
+        _, seeds, _ = world
+        tree = build_space_tree(seeds)
+        leaf = tree.children[0] if tree.children else tree
+        while not leaf.is_leaf:
+            leaf = leaf.children[0]
+        for candidate in leaf.generate(rng, 50):
+            # At most one mutated nibble can break prefix agreement never:
+            # the prefix nibbles are fixed bits of the base address.
+            assert leaf.contains(candidate)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            SixTreeTga([])
+
+
+class TestSixTree:
+    def test_discovers_and_respects_budget(self, world):
+        live, seeds, oracle = world
+        tga = SixTreeTga(seeds, rng=0)
+        result = tga.run(oracle, budget=800)
+        assert result.probes_sent <= 800
+        assert result.discovered
+        assert result.discovered <= live
+        assert 0 < result.hit_rate <= 1.0
+
+    def test_never_reprobes(self, world):
+        live, seeds, oracle = world
+        probed = []
+        tga = SixTreeTga(seeds, rng=0)
+        tga.run(lambda a, t: (probed.append(a), a in live)[1], budget=600)
+        assert len(probed) == len(set(probed))
+
+    def test_feedback_abandons_stale_regions(self, rng):
+        """Most budget must land in the responsive region, not the stale
+        seed regions — 6Tree's defining behavior."""
+        live = {P1.network | (s << 64) | h
+                for s in range(8) for h in range(1, 60)}
+        stale = [IPv6Prefix.parse(f"2001:db8:{i:x}0::/48").network
+                 | (s << 64) | 1
+                 for i in range(1, 9) for s in range(8)]
+        seeds = [int(x) for x in rng.choice(sorted(live), size=30,
+                                            replace=False)] + stale
+        probes_in_live_region = 0
+        total_probes = 0
+
+        def oracle(address, at):
+            nonlocal probes_in_live_region, total_probes
+            total_probes += 1
+            if address in P1:
+                probes_in_live_region += 1
+            return address in live
+
+        tga = SixTreeTga(seeds, rng=1)
+        tga.run(oracle, budget=2000)
+        # Seed regions are 1 live /48 vs 8 stale /48s: a blind allocator
+        # spends ~11% in the live region; feedback concentrates there.
+        assert probes_in_live_region / total_probes > 0.4
+
+    def test_rounds_recorded(self, world):
+        _, seeds, oracle = world
+        result = SixTreeTga(seeds, rng=0).run(oracle, budget=600,
+                                              round_size=100)
+        assert len(result.rounds) >= 2
+        assert sum(r.probes for r in result.rounds) == result.probes_sent
+
+
+class TestEntropyTga:
+    def test_generates_structured_candidates(self, world, rng):
+        _, seeds, _ = world
+        tga = EntropyTga(seeds, rng=0)
+        candidates = tga.generate(500)
+        assert len(candidates) == 500
+        # Candidates stay inside the seeds' covering /32.
+        covering = IPv6Prefix.parse("2001:db8::/32")
+        in_covering = sum(1 for c in candidates if c in covering)
+        assert in_covering > 450
+
+    def test_clusters_formed(self, world):
+        _, seeds, _ = world
+        tga = EntropyTga(seeds, rng=0)
+        assert len(tga.clusters) >= 2
+        assert sum(len(c.seeds) for c in tga.clusters) == len(set(seeds))
+
+    def test_run_interface(self, world):
+        live, seeds, oracle = world
+        result = EntropyTga(seeds, rng=0).run(oracle, budget=500)
+        assert result.probes_sent == 500
+        assert result.discovered <= live
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            EntropyTga([])
+
+
+class TestEvaluation:
+    def test_shootout_shapes(self, world):
+        live, seeds, oracle = world
+        evaluation = evaluate_tgas(seeds, oracle, budget=600, rng=2)
+        names = {s.name for s in evaluation.scores}
+        assert names == {"random", "pattern", "entropy", "6tree"}
+        # Random-in-/32 finds essentially nothing; every informed TGA
+        # beats it (the TGA literature's baseline result).
+        random_score = evaluation.score("random")
+        for name in ("pattern", "entropy", "6tree"):
+            assert evaluation.score(name).hit_rate > random_score.hit_rate
+        assert "TGA shootout" in evaluation.render()
+
+    def test_overlap_keys(self, world):
+        _, seeds, oracle = world
+        evaluation = evaluate_tgas(seeds, oracle, budget=300, rng=2)
+        assert len(evaluation.overlap) == 6  # C(4,2)
+
+    def test_unknown_score(self, world):
+        _, seeds, oracle = world
+        evaluation = evaluate_tgas(seeds, oracle, budget=200, rng=2)
+        with pytest.raises(KeyError):
+            evaluation.score("bogus")

@@ -1,0 +1,78 @@
+"""Tests for the CDN vantage model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scandetect import detect_scans
+from repro.sim.cdn import CdnVantage, TABLE6_ARCHETYPES
+
+
+@pytest.fixture(scope="module")
+def vantage():
+    return CdnVantage(rng=0, n_weeks=52)
+
+
+def test_archetype_shares_sum_below_one():
+    assert sum(row[3] for row in TABLE6_ARCHETYPES) < 1.0
+
+
+def test_weekly_packets_grow(vantage):
+    totals, top = vantage.weekly_packets()
+    assert len(totals) == 52
+    assert np.mean(totals[-8:]) > np.mean(totals[:8]) * 5
+    assert np.all(top <= totals)
+
+
+def test_sources_grow(vantage):
+    for level in (128, 64, 48):
+        series = vantage.weekly_sources(level)
+        assert np.mean(series[-8:]) > np.mean(series[:8])
+
+
+def test_source_hierarchy(vantage):
+    """/128 counts dominate /64 counts dominate /48 counts."""
+    s128 = vantage.weekly_sources(128)
+    s64 = vantage.weekly_sources(64)
+    s48 = vantage.weekly_sources(48)
+    assert np.all(s64 >= s48)
+    assert s128.sum() > s64.sum()
+
+
+def test_weekly_ases_grow(vantage):
+    ases = vantage.weekly_ases()
+    assert ases[-1] > ases[0]
+
+
+def test_top_as_table(vantage):
+    rows = vantage.top_as_table(20)
+    assert len(rows) == 20
+    shares = [r["share"] for r in rows]
+    assert shares == sorted(shares, reverse=True)
+    assert abs(sum(shares)) <= 1.0
+    assert all("as_type" in r and "country" in r for r in rows)
+
+
+def test_early_dominance(vantage):
+    totals, top = vantage.weekly_packets()
+    early_share = top[0] / totals[0]
+    late_share = top[-1] / totals[-1]
+    assert early_share > late_share
+
+
+def test_events_cached(vantage):
+    assert vantage.events() is vantage.events()
+
+
+def test_sample_packets_feed_scan_detection():
+    vantage = CdnVantage(rng=1, n_weeks=10, volume_scale=1e-4)
+    records = vantage.sample_packets(week=5, max_packets=20_000)
+    assert len(records) > 0
+    # The materialized week runs through the real scan-detection pipeline.
+    events = detect_scans(records, source_length=32, min_targets=50)
+    assert len(events) > 0
+
+
+def test_sample_packets_cap():
+    vantage = CdnVantage(rng=1, n_weeks=10)
+    records = vantage.sample_packets(week=5, max_packets=5_000)
+    assert len(records) <= 5_000 * 1.2

@@ -1,0 +1,72 @@
+"""Determinism: identical configs must yield identical worlds.
+
+Reproducibility is a headline property of the library (the paper promises
+reproducible tooling); these tests pin it at scenario scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import PaperScenario, ScenarioConfig
+from repro.sim.cdn import CdnVantage
+
+
+def _tiny_config(seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=seed, duration_days=25, volume_scale=1e-4, n_tail=25,
+        phase1_day=4, phase2_day=7, phase3_day=10, specific_start_day=12,
+        tls_offset_days=5, tpot_hitlist_offset_days=8,
+        tpot_tls_offset_days=12, udp_hitlist_offset_days=3,
+        withdraw_after_days=100,
+    )
+
+
+def _run(seed: int):
+    scenario = PaperScenario(_tiny_config(seed))
+    scenario.run()
+    return scenario
+
+
+class TestScenarioDeterminism:
+    def test_same_seed_same_capture(self):
+        a = _run(seed=13)
+        b = _run(seed=13)
+        records_a = a.telescope.capturer.to_records()
+        records_b = b.telescope.capturer.to_records()
+        assert len(records_a) == len(records_b)
+        assert np.array_equal(records_a.ts, records_b.ts)
+        assert np.array_equal(records_a.src_hi, records_b.src_hi)
+        assert np.array_equal(records_a.dst_lo, records_b.dst_lo)
+        assert np.array_equal(records_a.proto, records_b.proto)
+
+    def test_same_seed_same_placement_and_timeline(self):
+        a = _run(seed=13)
+        b = _run(seed=13)
+        for name in a.honeyprefixes:
+            hp_a, hp_b = a.honeyprefixes[name], b.honeyprefixes[name]
+            assert hp_a.prefix == hp_b.prefix
+            assert hp_a.timeline == hp_b.timeline
+            assert hp_a.responsive == hp_b.responsive
+
+    def test_different_seed_different_capture(self):
+        a = _run(seed=13)
+        b = _run(seed=14)
+        records_a = a.telescope.capturer.to_records()
+        records_b = b.telescope.capturer.to_records()
+        assert (len(records_a) != len(records_b)
+                or not np.array_equal(records_a.ts, records_b.ts))
+
+
+class TestCdnDeterminism:
+    def test_same_seed_same_events(self):
+        a = CdnVantage(rng=3, n_weeks=30)
+        b = CdnVantage(rng=3, n_weeks=30)
+        totals_a, _ = a.weekly_packets()
+        totals_b, _ = b.weekly_packets()
+        assert np.array_equal(totals_a, totals_b)
+
+    def test_different_seed_differs(self):
+        a = CdnVantage(rng=3, n_weeks=30)
+        b = CdnVantage(rng=4, n_weeks=30)
+        assert not np.array_equal(a.weekly_packets()[0],
+                                  b.weekly_packets()[0])

@@ -1,0 +1,57 @@
+"""The H_RDNS variant (§4.3.4): reverse-DNS records as an attraction signal."""
+
+import pytest
+
+from repro.core.features import Feature
+from repro.sim import PaperScenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def rdns_result():
+    config = ScenarioConfig(
+        seed=21, duration_days=50, volume_scale=1e-4, n_tail=40,
+        include_rdns=True,
+        phase1_day=5, phase2_day=8, phase3_day=11, specific_start_day=14,
+        tls_offset_days=7, tpot_hitlist_offset_days=10,
+        tpot_tls_offset_days=16, udp_hitlist_offset_days=4,
+        withdraw_after_days=100,
+    )
+    scenario = PaperScenario(config)
+    scenario.run()
+    return scenario
+
+
+def test_rdns_prefix_deployed(rdns_result):
+    assert len(rdns_result.honeyprefixes) == 28
+    hp = rdns_result.honeyprefixes["H_RDNS"]
+    assert hp.config.rdns
+
+
+def test_ptr_records_installed(rdns_result):
+    hp = rdns_result.honeyprefixes["H_RDNS"]
+    zone = rdns_result.fabric.reverse_zone
+    for addr in hp.icmp_addresses():
+        assert zone.lookup_ptr(addr, at=1e9)
+
+
+def test_walker_watches_covering_prefix(rdns_result):
+    from repro.scanners.strategies import RdnsWalkerStrategy
+
+    walkers = [
+        strategy
+        for agent in rdns_result.agents
+        for strategy in agent.strategies
+        if isinstance(strategy, RdnsWalkerStrategy)
+    ]
+    assert walkers
+    assert any(rdns_result.nta_covering in w.watched for w in walkers)
+
+
+def test_rdns_hosts_probed(rdns_result):
+    """The ip6.arpa walker finds the PTR'd hosts and probes them."""
+    hp = rdns_result.honeyprefixes["H_RDNS"]
+    records = rdns_result.telescope.capturer.to_records()
+    sub = records.select(records.mask_dst_in(hp.prefix))
+    assert len(sub) > 0
+    probed = sub.destination_set(128)
+    assert probed & set(hp.icmp_addresses())

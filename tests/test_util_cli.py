@@ -1,0 +1,119 @@
+"""Tests for repro._util, the wordlist, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    DAY,
+    WEEK,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    day_of,
+    make_rng,
+    spawn_rngs,
+    week_of,
+    weighted_choice,
+)
+from repro.__main__ import main
+from repro.core.wordlists import COMMON_SUBDOMAINS_HEAD, common_subdomains
+
+
+class TestRng:
+    def test_make_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_seed_deterministic(self):
+        assert make_rng(5).integers(1000) == make_rng(5).integers(1000)
+
+    def test_spawn_independent(self):
+        rng = make_rng(0)
+        a, b = spawn_rngs(rng, 2)
+        assert a.integers(1 << 30) != b.integers(1 << 30)
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(0), -1)
+
+
+class TestTimeHelpers:
+    def test_day_of(self):
+        assert day_of(0.0) == 0
+        assert day_of(DAY - 1) == 0
+        assert day_of(DAY) == 1
+
+    def test_week_of(self):
+        assert week_of(WEEK + 1) == 1
+
+
+class TestValidators:
+    def test_check_nonnegative(self):
+        assert check_nonnegative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+    def test_check_positive(self):
+        assert check_positive("x", 1) == 1
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_probability(self):
+        assert check_probability("x", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("x", 1.5)
+
+    def test_weighted_choice(self):
+        rng = make_rng(0)
+        assert weighted_choice(rng, ["a", "b"], [1.0, 0.0]) == "a"
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [0.0])
+
+
+class TestWordlist:
+    def test_default_count(self):
+        names = common_subdomains()
+        assert len(names) == 374
+        assert len(set(names)) == 374
+
+    def test_head_is_real_names(self):
+        assert "www" in COMMON_SUBDOMAINS_HEAD
+        assert "mail" in COMMON_SUBDOMAINS_HEAD
+        names = common_subdomains(5)
+        assert names == list(COMMON_SUBDOMAINS_HEAD[:5])
+
+    def test_synthetic_fill(self):
+        names = common_subdomains(400)
+        assert len(names) == 400
+        assert names[-1].startswith("svc")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            common_subdomains(-1)
+
+    def test_all_valid_dns_labels(self):
+        from repro.dns.records import validate_name
+
+        for name in common_subdomains():
+            validate_name(f"{name}.example.com")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig11" in out
+
+    def test_standalone_experiment(self, capsys):
+        assert main(["experiment", "table2", "table7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Twinklenet" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "bogus"]) == 2
+
+    def test_cdn_experiment(self, capsys):
+        assert main(["experiment", "fig13"]) == 0
+        assert "Fig 13" in capsys.readouterr().out
