@@ -13,6 +13,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.records import PacketRecords
+from repro.net.addr import (
+    mask_u64,
+    member_mask_u64,
+    pack_key_u64,
+    split_u64,
+    unique_pairs_u64,
+)
 
 #: The aggregation levels used in §5.1.
 DEFAULT_LEVELS = (32, 64, 128)
@@ -41,8 +48,45 @@ class OverlapReport:
     shared_dest_share_a: float
 
 
+def _shared_src_mask(records: PacketRecords, shared: set[int],
+                     prefix_length: int) -> np.ndarray:
+    """Boolean row mask: source (truncated to ``prefix_length``) in ``shared``.
+
+    Uses the packed single-column uint64 key + ``np.isin`` when the
+    aggregation length fits in the hi half (<= 64), and the two-column
+    128-bit membership helper otherwise — no per-packet Python lookups.
+    """
+    shared_hi, shared_lo = split_u64(shared)
+    packed = pack_key_u64(records.src_hi, records.src_lo, prefix_length)
+    if packed is not None:
+        # Truncated shared values live entirely in the hi half.
+        return np.isin(packed, shared_hi)
+    mhi, mlo = mask_u64(records.src_hi, records.src_lo, prefix_length)
+    return member_mask_u64(mhi, mlo, shared_hi, shared_lo)
+
+
 def _traffic_share(records: PacketRecords, shared: set[int],
                    prefix_length: int) -> float:
+    if len(records) == 0 or not shared:
+        return 0.0
+    member = _shared_src_mask(records, shared, prefix_length)
+    return int(member.sum()) / len(records)
+
+
+def _dest_share(records: PacketRecords, shared: set[int],
+                prefix_length: int) -> float:
+    if len(records) == 0 or not shared:
+        return 0.0
+    member = _shared_src_mask(records, shared, prefix_length)
+    n_all = len(unique_pairs_u64(records.dst_hi, records.dst_lo)[0])
+    n_shared = len(unique_pairs_u64(records.dst_hi[member],
+                                    records.dst_lo[member])[0])
+    return n_shared / n_all if n_all else 0.0
+
+
+def _traffic_share_reference(records: PacketRecords, shared: set[int],
+                             prefix_length: int) -> float:
+    """Per-packet reference for :func:`_traffic_share` (equivalence tests)."""
     if len(records) == 0 or not shared:
         return 0.0
     shift = 128 - prefix_length
@@ -54,8 +98,9 @@ def _traffic_share(records: PacketRecords, shared: set[int],
     return count / len(records)
 
 
-def _dest_share(records: PacketRecords, shared: set[int],
-                prefix_length: int) -> float:
+def _dest_share_reference(records: PacketRecords, shared: set[int],
+                          prefix_length: int) -> float:
+    """Per-packet reference for :func:`_dest_share` (equivalence tests)."""
     if len(records) == 0 or not shared:
         return 0.0
     shift = 128 - prefix_length

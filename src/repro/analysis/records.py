@@ -14,7 +14,13 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro._util import DAY
-from repro.net.addr import IPv6Prefix, mask_u64
+from repro.net.addr import (
+    IPv6Prefix,
+    group_ids_u64,
+    mask_u64,
+    pack_key_u64,
+    unique_pairs_u64,
+)
 from repro.net.packet import Packet
 
 _U64 = 0xFFFFFFFFFFFFFFFF
@@ -145,51 +151,72 @@ class PacketRecords:
             yield (int(hi) << 64) | int(lo)
 
     # -- aggregation -------------------------------------------------------
+    #
+    # All aggregation goes through _agg_key: a packed single-column uint64
+    # key when the aggregation length fits in the hi half (<= 64 — the
+    # paper's /32, /48, /64 levels), so np.unique runs its fast 1-D sort,
+    # and masked (hi, lo) columns handled by the lexsort-based helpers in
+    # repro.net.addr otherwise.  Either way numpy never falls back to the
+    # slow void-view sort it performs on 2-D input.
 
-    def _agg_pairs(self, hi: np.ndarray, lo: np.ndarray,
-                   prefix_len: int) -> np.ndarray:
-        mhi, mlo = mask_u64(hi, lo, prefix_len)
-        pairs = np.empty((len(mhi), 2), dtype=np.uint64)
-        pairs[:, 0] = mhi
-        pairs[:, 1] = mlo
-        return pairs
+    def _agg_key(self, hi: np.ndarray, lo: np.ndarray, prefix_len: int
+                 ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Truncated grouping key: ``(packed, None)`` or ``(mhi, mlo)``."""
+        packed = pack_key_u64(hi, lo, prefix_len)
+        if packed is not None:
+            return packed, None
+        return mask_u64(hi, lo, prefix_len)
 
     def unique_sources(self, prefix_len: int = 128) -> int:
         """Count distinct source /``prefix_len`` subnets."""
         if len(self) == 0:
             return 0
-        pairs = self._agg_pairs(self.src_hi, self.src_lo, prefix_len)
-        return len(np.unique(pairs, axis=0))
+        key, lo = self._agg_key(self.src_hi, self.src_lo, prefix_len)
+        if lo is None:
+            return len(np.unique(key))
+        return len(unique_pairs_u64(key, lo)[0])
 
     def unique_destinations(self, prefix_len: int = 128) -> int:
         """Count distinct destination /``prefix_len`` subnets."""
         if len(self) == 0:
             return 0
-        pairs = self._agg_pairs(self.dst_hi, self.dst_lo, prefix_len)
-        return len(np.unique(pairs, axis=0))
+        key, lo = self._agg_key(self.dst_hi, self.dst_lo, prefix_len)
+        if lo is None:
+            return len(np.unique(key))
+        return len(unique_pairs_u64(key, lo)[0])
 
     def source_set(self, prefix_len: int = 128) -> set[int]:
         """The set of source subnets (as truncated 128-bit ints)."""
         if len(self) == 0:
             return set()
-        pairs = self._agg_pairs(self.src_hi, self.src_lo, prefix_len)
-        uniq = np.unique(pairs, axis=0)
-        return {(int(h) << 64) | int(l) for h, l in uniq}
+        key, lo = self._agg_key(self.src_hi, self.src_lo, prefix_len)
+        if lo is None:
+            return {int(k) << 64 for k in np.unique(key)}
+        uhi, ulo = unique_pairs_u64(key, lo)
+        return {(int(h) << 64) | int(l) for h, l in zip(uhi, ulo)}
 
     def destination_set(self, prefix_len: int = 128) -> set[int]:
         if len(self) == 0:
             return set()
-        pairs = self._agg_pairs(self.dst_hi, self.dst_lo, prefix_len)
-        uniq = np.unique(pairs, axis=0)
-        return {(int(h) << 64) | int(l) for h, l in uniq}
+        key, lo = self._agg_key(self.dst_hi, self.dst_lo, prefix_len)
+        if lo is None:
+            return {int(k) << 64 for k in np.unique(key)}
+        uhi, ulo = unique_pairs_u64(key, lo)
+        return {(int(h) << 64) | int(l) for h, l in zip(uhi, ulo)}
 
     def source_groups(self, prefix_len: int = 128) -> np.ndarray:
-        """Integer group id per row, grouping rows by source subnet."""
+        """Integer group id per row, grouping rows by source subnet.
+
+        Ids are assigned in ascending order of the truncated source value.
+        """
         if len(self) == 0:
             return np.empty(0, dtype=np.int64)
-        pairs = self._agg_pairs(self.src_hi, self.src_lo, prefix_len)
-        _, inverse = np.unique(pairs, axis=0, return_inverse=True)
-        return inverse
+        key, lo = self._agg_key(self.src_hi, self.src_lo, prefix_len)
+        if lo is None:
+            _, inverse = np.unique(key, return_inverse=True)
+            return inverse.astype(np.int64, copy=False)
+        ids, _ = group_ids_u64(key, lo)
+        return ids
 
     # -- time series ---------------------------------------------------------
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.honeyprefix import Honeyprefix
+from repro.net.addr import aggregate
 from repro.net.packet import (
     ICMPV6,
     TCP,
@@ -39,8 +40,10 @@ from repro.net.packet import (
 
 #: NTP kiss-of-death payload: stratum 0 with reference identifier "DENY".
 NTP_KOD_PAYLOAD = b"\x24\x00\x00\x00DENY"
-#: Minimal DNS response with RCODE=2 (SERVFAIL).
+#: DNS header flag bytes with QR=1, RCODE=2 (SERVFAIL).
 DNS_SERVFAIL_PAYLOAD = b"\x80\x02"
+#: Zeroed QDCOUNT/ANCOUNT/NSCOUNT/ARCOUNT words of the SERVFAIL header.
+_DNS_ZERO_COUNTS = b"\x00\x00" * 4
 
 #: UDP ports Twinklenet understands as DNS / NTP.
 DNS_PORT = 53
@@ -58,6 +61,7 @@ class TcpSession:
     state: str = "syn_received"
     first_data: bytes | None = None
     opened_at: float = 0.0
+    last_seen: float = 0.0
 
 
 @dataclass
@@ -65,6 +69,12 @@ class TwinklenetConfig:
     """Which honeyprefixes (and their bindings) this instance serves."""
 
     honeyprefixes: list[Honeyprefix] = field(default_factory=list)
+    #: TCP sessions idle longer than this (by packet timestamp) are evicted
+    #: — a SYN-only sweep must not grow the session table forever.
+    session_timeout: float = 600.0
+    #: Hard cap on concurrently tracked TCP sessions; the oldest-inserted
+    #: session is dropped to admit a new one once the cap is reached.
+    max_sessions: int = 4096
 
 
 class Twinklenet:
@@ -81,8 +91,15 @@ class Twinklenet:
         self._transmit = transmit or (lambda pkt: None)
         self._sessions: dict[tuple[int, int, int, int], TcpSession] = {}
         self.sessions_completed: list[TcpSession] = []
+        self.sessions_evicted = 0
         self.rx_count = 0
         self.tx_count = 0
+        self._last_sweep = float("-inf")
+        # Truncation-keyed honeyprefix index; rebuilt lazily when the
+        # config's honeyprefix list grows (deploys append to it).
+        self._owner_index: dict[tuple[int, int], tuple[int, Honeyprefix]] = {}
+        self._owner_lengths: list[int] = []
+        self._indexed_count = -1
 
     def set_transmit(self, transmit: Callable[[Packet], None]) -> None:
         self._transmit = transmit
@@ -91,11 +108,32 @@ class Twinklenet:
         self.tx_count += 1
         self._transmit(pkt)
 
+    def _rebuild_owner_index(self) -> None:
+        self._owner_index = {}
+        lengths: set[int] = set()
+        for pos, hp in enumerate(self.config.honeyprefixes):
+            key = (hp.prefix.length, hp.prefix.network)
+            self._owner_index.setdefault(key, (pos, hp))
+            lengths.add(hp.prefix.length)
+        self._owner_lengths = sorted(lengths)
+        self._indexed_count = len(self.config.honeyprefixes)
+
     def _owner(self, dst: int) -> Honeyprefix | None:
-        for hp in self.config.honeyprefixes:
-            if dst in hp.prefix:
-                return hp
-        return None
+        """Honeyprefix serving ``dst``, by truncation-keyed dict lookup.
+
+        One dict probe per distinct deployed prefix length (a handful:
+        honeyprefixes are /48s and longer) replaces the linear scan over
+        every honeyprefix.  When several nested prefixes cover ``dst``, the
+        one listed first in the config wins, matching the original scan.
+        """
+        if len(self.config.honeyprefixes) != self._indexed_count:
+            self._rebuild_owner_index()
+        best: tuple[int, Honeyprefix] | None = None
+        for length in self._owner_lengths:
+            entry = self._owner_index.get((length, aggregate(dst, length)))
+            if entry is not None and (best is None or entry[0] < best[0]):
+                best = entry
+        return best[1] if best else None
 
     def responds(self, address: int, proto: int, port: int | None) -> bool:
         """Responsiveness oracle over all served honeyprefixes."""
@@ -123,16 +161,39 @@ class Twinklenet:
 
     # -- TCP -------------------------------------------------------------
 
+    def _evict_stale_sessions(self, now: float) -> None:
+        """Drop sessions idle longer than the configured timeout.
+
+        Driven by packet timestamps and amortized: a full sweep runs at
+        most once per timeout interval, so per-packet cost stays O(1).
+        """
+        timeout = self.config.session_timeout
+        if now - self._last_sweep < timeout:
+            return
+        self._last_sweep = now
+        expired = [key for key, session in self._sessions.items()
+                   if now - session.last_seen > timeout]
+        for key in expired:
+            del self._sessions[key]
+        self.sessions_evicted += len(expired)
+
     def _handle_tcp(self, pkt: Packet, hp: Honeyprefix) -> None:
+        self._evict_stale_sessions(pkt.timestamp)
         if not hp.responds(pkt.dst, TCP, pkt.dport):
             return  # closed port: darknet silence
         key = (pkt.src, pkt.sport, pkt.dst, pkt.dport)
         session = self._sessions.get(key)
         if pkt.is_tcp_syn:
+            if session is None and len(self._sessions) >= self.config.max_sessions:
+                # Table full: recycle the oldest-inserted session (a
+                # SYN-only scanner never touches a session twice, so
+                # insertion order is idle order).
+                del self._sessions[next(iter(self._sessions))]
+                self.sessions_evicted += 1
             self._sessions[key] = TcpSession(
                 peer=pkt.src, peer_port=pkt.sport,
                 local=pkt.dst, local_port=pkt.dport,
-                opened_at=pkt.timestamp,
+                opened_at=pkt.timestamp, last_seen=pkt.timestamp,
             )
             self._send(tcp_segment(
                 pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
@@ -146,6 +207,7 @@ class Twinklenet:
                 TcpFlags.RST, seq=pkt.ack,
             ))
             return
+        session.last_seen = pkt.timestamp
         if session.state == "syn_received" and pkt.flags & TcpFlags.ACK:
             session.state = "established"
         if session.state == "established" and pkt.payload:
@@ -159,6 +221,16 @@ class Twinklenet:
             ))
             self.sessions_completed.append(session)
             del self._sessions[key]
+            return
+        if pkt.flags & (TcpFlags.FIN | TcpFlags.RST):
+            # Peer teardown: forget the session.  A FIN gets its ACK; an
+            # RST is dropped silently.
+            del self._sessions[key]
+            if pkt.flags & TcpFlags.FIN and not pkt.flags & TcpFlags.RST:
+                self._send(tcp_segment(
+                    pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
+                    TcpFlags.ACK, seq=1, ack=pkt.seq + 1,
+                ))
 
     # -- UDP -------------------------------------------------------------
 
@@ -167,8 +239,11 @@ class Twinklenet:
             return
         if pkt.dport == DNS_PORT:
             # SERVFAIL instead of implementing a resolver an attacker could
-            # abuse for reflection.
-            payload = pkt.payload[:2] + DNS_SERVFAIL_PAYLOAD
+            # abuse for reflection.  The reply is a well-formed 12-byte DNS
+            # header: TXID (zero-padded when the query is shorter than two
+            # bytes), SERVFAIL flags, and zeroed section counts.
+            txid = pkt.payload[:2].ljust(2, b"\x00")
+            payload = txid + DNS_SERVFAIL_PAYLOAD + _DNS_ZERO_COUNTS
             self._send(udp_datagram(
                 pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport, payload
             ))

@@ -270,6 +270,87 @@ def mask_u64(hi: np.ndarray, lo: np.ndarray, prefix_len: int) -> tuple[np.ndarra
     return hi.copy(), lo & lo_mask
 
 
+def pack_key_u64(hi: np.ndarray, lo: np.ndarray,
+                 prefix_len: int) -> np.ndarray | None:
+    """Pack truncated (hi, lo) address columns into one uint64 key column.
+
+    Only possible when ``prefix_len <= 64``: the truncated address then
+    lives entirely in the hi half, which covers the paper's /32, /48, and
+    /64 aggregation levels.  Returns ``None`` for longer lengths; callers
+    fall back to the two-column helpers below.  The single-column form lets
+    ``np.unique``/``np.isin`` run their fast 1-D sort instead of the slow
+    void-view sort they perform on 2-D input.
+    """
+    if not 0 <= prefix_len <= 128:
+        raise ValueError(f"prefix length must be in [0, 128], got {prefix_len}")
+    if prefix_len > 64:
+        return None
+    if prefix_len == 0:
+        return np.zeros(len(hi), dtype=np.uint64)
+    mask = np.uint64((0xFFFFFFFFFFFFFFFF << (64 - prefix_len))
+                     & 0xFFFFFFFFFFFFFFFF)
+    return hi & mask
+
+
+def unique_pairs_u64(hi: np.ndarray, lo: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct (hi, lo) rows, in ascending (hi, lo) order.
+
+    Equivalent to ``np.unique(column_stack([hi, lo]), axis=0)`` but via a
+    plain two-key lexsort instead of the void-view sort numpy uses for 2-D
+    input.
+    """
+    n = len(hi)
+    if n == 0:
+        return hi[:0], lo[:0]
+    order = np.lexsort((lo, hi))
+    sh, sl = hi[order], lo[order]
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    keep[1:] = (sh[1:] != sh[:-1]) | (sl[1:] != sl[:-1])
+    return sh[keep], sl[keep]
+
+
+def group_ids_u64(hi: np.ndarray, lo: np.ndarray) -> tuple[np.ndarray, int]:
+    """Group rows by (hi, lo) value: ``(ids, n_groups)``.
+
+    Ids are assigned in ascending (hi, lo) order, matching the ``inverse``
+    of ``np.unique(..., axis=0, return_inverse=True)``, again without the
+    2-D void-view sort.
+    """
+    n = len(hi)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0
+    order = np.lexsort((lo, hi))
+    sh, sl = hi[order], lo[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (sh[1:] != sh[:-1]) | (sl[1:] != sl[:-1])
+    ids_sorted = np.cumsum(boundary) - 1
+    ids = np.empty(n, dtype=np.int64)
+    ids[order] = ids_sorted
+    return ids, int(ids_sorted[-1]) + 1
+
+
+def member_mask_u64(hi: np.ndarray, lo: np.ndarray,
+                    set_hi: np.ndarray, set_lo: np.ndarray) -> np.ndarray:
+    """Row-wise membership of (hi, lo) in the set given as (set_hi, set_lo).
+
+    The 128-bit analogue of ``np.isin``: both halves must match on the same
+    row.  Implemented by grouping the concatenation of set and query rows,
+    so no Python-level per-row lookups happen.
+    """
+    n_set = len(set_hi)
+    if n_set == 0:
+        return np.zeros(len(hi), dtype=bool)
+    all_hi = np.concatenate([np.asarray(set_hi, dtype=np.uint64), hi])
+    all_lo = np.concatenate([np.asarray(set_lo, dtype=np.uint64), lo])
+    ids, n_groups = group_ids_u64(all_hi, all_lo)
+    in_set = np.zeros(n_groups, dtype=bool)
+    in_set[ids[:n_set]] = True
+    return in_set[ids[n_set:]]
+
+
 def parse_prefix(text: str) -> IPv6Prefix:
     """Convenience alias for :meth:`IPv6Prefix.parse`."""
     return IPv6Prefix.parse(text)

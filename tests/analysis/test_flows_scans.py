@@ -126,3 +126,26 @@ class TestWeeklySeries:
 
     def test_empty_window(self):
         assert weekly_scan_sources(PacketRecords.empty(), 0.0, 0.0).shape == (0,)
+
+    def test_weekly_scan_packets_drops_events_outside_window(self):
+        """Events starting outside [start, end) are dropped, not
+        mis-bucketed into the first or last week."""
+        src_a, src_b, src_c = 7 << 64, 8 << 64, 9 << 64
+        pkts = (
+            # Starts (and ends) before the window: must not count.
+            _ping_burst(src_a, 120, start=0.0)
+            # Inside the window: counts in week 0 of the window.
+            + _ping_burst(src_b, 120, start=10 * WEEK + 100.0,
+                          dst_base=2 << 80)
+            # Starts after the window end: must not count.
+            + _ping_burst(src_c, 120, start=12 * WEEK + 100.0,
+                          dst_base=3 << 80)
+        )
+        records = PacketRecords.from_packets(pkts)
+        totals, top = weekly_scan_packets(records, 10 * WEEK, 12 * WEEK)
+        assert totals.tolist() == [120.0, 0.0]
+        assert top.tolist() == [120.0, 0.0]
+
+    def test_weekly_scan_packets_empty_window(self):
+        totals, top = weekly_scan_packets(PacketRecords.empty(), 0.0, 0.0)
+        assert totals.shape == (0,) and top.shape == (0,)

@@ -118,6 +118,156 @@ class TestUdp:
         assert responses == []
 
 
+class TestSessionLifecycle:
+    """The session table must stay bounded under scanner load."""
+
+    def _tcp_pot(self, rng, session_timeout=600.0, max_sessions=4096):
+        config = HoneyprefixConfig(
+            name="hp", icmp_mode=IcmpMode.ADDRESSES,
+            tcp_services=(("web", (80,)),),
+        )
+        hp = deploy_addresses(config, PREFIX, rng)
+        responses = []
+        pot = Twinklenet(
+            TwinklenetConfig([hp], session_timeout=session_timeout,
+                             max_sessions=max_sessions),
+            transmit=responses.append,
+        )
+        return pot, _tcp_addr(hp), responses
+
+    def test_syn_sweep_leaves_table_bounded(self, rng):
+        """10k SYN-only probes (the classic scanner pattern) must not grow
+        the session table past the configured cap."""
+        pot, addr, _ = self._tcp_pot(rng, max_sessions=512)
+        for i in range(10_000):
+            src = (0x2620 << 112) | i
+            pot.handle(tcp_segment(i * 0.01, src, addr, 5000, 80,
+                                   TcpFlags.SYN))
+        assert len(pot._sessions) <= 512
+        assert pot.sessions_evicted >= 10_000 - 512
+
+    def test_idle_sessions_evicted_by_timestamp(self, rng):
+        pot, addr, _ = self._tcp_pot(rng, session_timeout=600.0)
+        pot.handle(tcp_segment(0.0, SRC, addr, 5000, 80, TcpFlags.SYN))
+        assert len(pot._sessions) == 1
+        # A later packet (any TCP traffic) drives the idle sweep.
+        pot.handle(tcp_segment(1200.0, SRC + 1, addr, 5001, 80,
+                               TcpFlags.SYN))
+        assert len(pot._sessions) == 1  # only the fresh session remains
+        assert pot.sessions_evicted == 1
+
+    def test_fin_tears_down_session_with_ack(self, rng):
+        pot, addr, responses = self._tcp_pot(rng)
+        pot.handle(tcp_segment(1.0, SRC, addr, 5000, 80, TcpFlags.SYN,
+                               seq=100))
+        pot.handle(tcp_segment(1.1, SRC, addr, 5000, 80, TcpFlags.ACK,
+                               seq=101, ack=1))
+        pot.handle(tcp_segment(1.2, SRC, addr, 5000, 80,
+                               TcpFlags.FIN | TcpFlags.ACK, seq=101))
+        assert pot._sessions == {}
+        assert TcpFlags(responses[-1].flags) == TcpFlags.ACK
+        assert responses[-1].ack == 102
+
+    def test_rst_tears_down_session_silently(self, rng):
+        pot, addr, responses = self._tcp_pot(rng)
+        pot.handle(tcp_segment(1.0, SRC, addr, 5000, 80, TcpFlags.SYN))
+        n_before = len(responses)
+        pot.handle(tcp_segment(1.1, SRC, addr, 5000, 80, TcpFlags.RST,
+                               seq=1))
+        assert pot._sessions == {}
+        assert len(responses) == n_before  # no reply to the RST
+
+    def test_syn_ack_fin_no_payload_leaves_no_session(self, rng):
+        """The SYN -> ACK -> FIN pattern (connect scan, no data) used to
+        leak one TcpSession forever."""
+        pot, addr, _ = self._tcp_pot(rng)
+        pot.handle(tcp_segment(1.0, SRC, addr, 5000, 80, TcpFlags.SYN))
+        pot.handle(tcp_segment(1.1, SRC, addr, 5000, 80, TcpFlags.ACK,
+                               seq=1, ack=1))
+        pot.handle(tcp_segment(1.2, SRC, addr, 5000, 80,
+                               TcpFlags.FIN | TcpFlags.ACK, seq=1))
+        assert pot._sessions == {}
+
+    def test_data_capture_still_works_after_eviction_plumbing(self, rng):
+        """The Table 7 capture-then-FIN path is unchanged."""
+        pot, addr, responses = self._tcp_pot(rng)
+        pot.handle(tcp_segment(1.0, SRC, addr, 5000, 80, TcpFlags.SYN,
+                               seq=100))
+        pot.handle(tcp_segment(1.1, SRC, addr, 5000, 80, TcpFlags.ACK,
+                               seq=101, ack=1))
+        pot.handle(tcp_segment(1.2, SRC, addr, 5000, 80,
+                               TcpFlags.PSH | TcpFlags.ACK, seq=101,
+                               payload=b"GET /"))
+        assert TcpFlags(responses[-1].flags) & TcpFlags.FIN
+        assert pot.sessions_completed[0].first_data == b"GET /"
+        assert pot._sessions == {}
+
+
+class TestDnsReply:
+    def test_reply_is_wellformed_12_byte_header(self, pot):
+        twinklenet, hp, responses = pot
+        twinklenet.handle(udp_datagram(1.0, SRC, _udp_addr(hp), 9000, 53,
+                                       b"\xab\xcdquery"))
+        reply = responses[-1].payload
+        assert len(reply) == 12
+        assert reply[:2] == b"\xab\xcd"
+        assert reply[2:4] == DNS_SERVFAIL_PAYLOAD
+        assert reply[4:] == b"\x00" * 8  # QD/AN/NS/AR counts all zero
+
+    @pytest.mark.parametrize("query", [b"", b"\xab"])
+    def test_short_query_txid_zero_padded(self, pot, query):
+        """Queries shorter than two bytes used to produce a truncated /
+        garbage transaction id."""
+        twinklenet, hp, responses = pot
+        twinklenet.handle(udp_datagram(1.0, SRC, _udp_addr(hp), 9000, 53,
+                                       query))
+        reply = responses[-1].payload
+        assert len(reply) == 12
+        assert reply[:2] == query.ljust(2, b"\x00")
+        assert reply[2:4] == DNS_SERVFAIL_PAYLOAD
+
+
+class TestOwnerIndex:
+    def test_nested_prefixes_first_listed_wins(self, rng):
+        """With nested honeyprefixes the indexed lookup must match the
+        original linear scan: the first config entry covering the address."""
+        covering = IPv6Prefix.parse("2001:db8:300::/48")
+        nested = IPv6Prefix.parse("2001:db8:300:a000::/52")
+        hp_cover = deploy_addresses(
+            HoneyprefixConfig(name="cover", aliased=True,
+                              icmp_mode=IcmpMode.FULL), covering, rng)
+        hp_nested = deploy_addresses(
+            HoneyprefixConfig(name="nested", announce_length=52,
+                              aliased=True, icmp_mode=IcmpMode.FULL),
+            nested, rng)
+        inside_nested = nested.network | 7
+
+        pot = Twinklenet(TwinklenetConfig([hp_cover, hp_nested]))
+        assert pot._owner(inside_nested) is hp_cover
+        assert pot._owner(covering.network | 1) is hp_cover
+
+        pot = Twinklenet(TwinklenetConfig([hp_nested, hp_cover]))
+        assert pot._owner(inside_nested) is hp_nested
+        assert pot._owner(covering.network | 1) is hp_cover
+        assert pot._owner(IPv6Prefix.parse("2001:db8:999::/48").network) is None
+
+    def test_index_follows_late_deploys(self, rng):
+        """ProactiveTelescope appends honeyprefixes after construction;
+        the index must pick them up."""
+        hp_a = deploy_addresses(
+            HoneyprefixConfig(name="a", aliased=True,
+                              icmp_mode=IcmpMode.FULL), PREFIX, rng)
+        pot = Twinklenet(TwinklenetConfig([hp_a]))
+        assert pot._owner(PREFIX.network | 1) is hp_a
+
+        late_prefix = IPv6Prefix.parse("2001:db8:400::/48")
+        hp_b = deploy_addresses(
+            HoneyprefixConfig(name="b", aliased=True,
+                              icmp_mode=IcmpMode.FULL), late_prefix, rng)
+        pot.config.honeyprefixes.append(hp_b)
+        assert pot._owner(late_prefix.network | 1) is hp_b
+
+
 class TestAliasing:
     def test_multiple_prefixes_one_instance(self, rng):
         """IP aliasing: one instance serves non-contiguous subnets."""

@@ -13,9 +13,13 @@ from repro.net.addr import (
     format_address,
     join_u64,
     mask_u64,
+    group_ids_u64,
+    member_mask_u64,
+    pack_key_u64,
     parse_address,
     parse_prefix,
     split_u64,
+    unique_pairs_u64,
 )
 
 addresses = st.integers(min_value=0, max_value=MAX_ADDRESS)
@@ -206,3 +210,51 @@ class TestAggregation:
         hi, lo = split_u64([1])
         with pytest.raises(ValueError):
             mask_u64(hi, lo, 129)
+
+
+class TestPackedKeys:
+    """The packed-key / lexsort helpers backing the columnar hot paths."""
+
+    @given(st.lists(addresses, max_size=20),
+           st.integers(min_value=0, max_value=64))
+    def test_pack_key_matches_scalar_truncation(self, values, length):
+        hi, lo = split_u64(values)
+        key = pack_key_u64(hi, lo, length)
+        assert key is not None
+        assert [int(k) << 64 for k in key] == \
+            [aggregate(v, length) for v in values]
+
+    @given(st.lists(addresses, max_size=20),
+           st.integers(min_value=65, max_value=128))
+    def test_pack_key_refuses_long_lengths(self, values, length):
+        hi, lo = split_u64(values)
+        assert pack_key_u64(hi, lo, length) is None
+
+    def test_pack_key_rejects_bad_length(self):
+        hi, lo = split_u64([1])
+        with pytest.raises(ValueError):
+            pack_key_u64(hi, lo, 129)
+
+    @given(st.lists(addresses, max_size=30))
+    def test_unique_pairs_matches_set(self, values):
+        hi, lo = split_u64(values)
+        uhi, ulo = unique_pairs_u64(hi, lo)
+        assert join_u64(uhi, ulo) == sorted(set(values))
+
+    @given(st.lists(addresses, max_size=30))
+    def test_group_ids_match_np_unique(self, values):
+        hi, lo = split_u64(values)
+        ids, n_groups = group_ids_u64(hi, lo)
+        assert n_groups == len(set(values))
+        if values:
+            pairs = np.stack([hi, lo], axis=1)
+            _, inverse = np.unique(pairs, axis=0, return_inverse=True)
+            assert ids.tolist() == inverse.tolist()
+
+    @given(st.lists(addresses, max_size=30), st.lists(addresses, max_size=10))
+    def test_member_mask_matches_python_in(self, values, members):
+        hi, lo = split_u64(values)
+        set_hi, set_lo = split_u64(set(members))
+        mask = member_mask_u64(hi, lo, set_hi, set_lo)
+        expected = [v in set(members) for v in values]
+        assert mask.tolist() == expected
