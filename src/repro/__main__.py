@@ -7,7 +7,8 @@ Subcommands:
 * ``experiment <id> [...]`` — regenerate specific tables/figures.
 
 Options shared by ``run``/``experiment``: ``--days``, ``--scale``,
-``--seed``, ``--tail``.
+``--seed``, ``--tail``, and ``--metrics[=FILE]`` (print a telemetry
+snapshot after the run; with ``FILE``, also write it as JSON).
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import argparse
 import sys
 
 from repro.experiments import EXPERIMENTS
+from repro.obs import MetricsRegistry, set_registry
 from repro.sim import ScenarioConfig, run_scenario
 
 
@@ -36,6 +38,10 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--tail", type=int, default=140,
                        help="number of long-tail scanner ASes")
+        p.add_argument("--metrics", nargs="?", const=True, default=None,
+                       metavar="FILE",
+                       help="collect pipeline telemetry and print a sorted "
+                            "snapshot; with FILE, also write it as JSON")
 
     run_p = sub.add_parser("run", help="run the scenario, print headlines")
     add_scenario_args(run_p)
@@ -60,6 +66,15 @@ def _scenario(args) -> object:
     return run_scenario(config)
 
 
+def _emit_metrics(registry: MetricsRegistry, metrics_arg) -> None:
+    """Print the snapshot table; write JSON when a path was given."""
+    print()
+    print(registry.render_table())
+    if isinstance(metrics_arg, str):
+        registry.write_json(metrics_arg)
+        print(f"metrics written to {metrics_arg}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -70,28 +85,45 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {key:8s} [{source:10s}] {doc}")
         return 0
 
-    if args.command == "run":
-        result = _scenario(args)
-        for key in ("table1", "table3", "fig5", "fig9", "table4"):
-            fn, _ = EXPERIMENTS[key]
-            print()
-            print(fn(result).render())
+    # Install the registry before the scenario is built: components bind
+    # their counters at construction time.
+    registry = MetricsRegistry() if args.metrics else None
+    previous = set_registry(registry) if registry else None
+    try:
+        if args.command == "run":
+            result = _scenario(args)
+            for key in ("table1", "table3", "fig5", "fig9", "table4"):
+                fn, _ = EXPERIMENTS[key]
+                print()
+                if registry:
+                    with registry.timer(f"experiment.{key}"):
+                        rendered = fn(result).render()
+                else:
+                    rendered = fn(result).render()
+                print(rendered)
+            if registry:
+                _emit_metrics(registry, args.metrics)
+            return 0
+
+        # experiment
+        ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
+        unknown = [i for i in ids if i not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+            print(f"known: {sorted(EXPERIMENTS)} (or 'all')", file=sys.stderr)
+            return 2
+        result = None
+        if any(EXPERIMENTS[i][1] for i in ids):
+            result = _scenario(args)
+        from repro.experiments.report import run_all
+
+        print(run_all(result, experiment_ids=ids, output_path=args.output))
+        if registry:
+            _emit_metrics(registry, args.metrics)
         return 0
-
-    # experiment
-    ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
-    unknown = [i for i in ids if i not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
-        print(f"known: {sorted(EXPERIMENTS)} (or 'all')", file=sys.stderr)
-        return 2
-    result = None
-    if any(EXPERIMENTS[i][1] for i in ids):
-        result = _scenario(args)
-    from repro.experiments.report import run_all
-
-    print(run_all(result, experiment_ids=ids, output_path=args.output))
-    return 0
+    finally:
+        if registry:
+            set_registry(previous)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro._util import check_positive
 from repro.analysis.records import PacketRecords
+from repro.obs import get_registry
 
 #: Zeek's default UDP/ICMP inactivity timeout is 60 s; TCP's is longer.  A
 #: single uniform timeout keeps flow semantics simple and matches how the
@@ -60,6 +61,15 @@ def aggregate_flows(
     timeout; Python only materializes the resulting :class:`Flow` objects.
     The per-packet loop is retained as :func:`aggregate_flows_reference`.
     """
+    registry = get_registry()
+    with registry.timer("analysis.aggregate_flows"):
+        flows = _aggregate_flows_impl(records, timeout)
+    registry.counter("analysis.aggregate_flows.records_in").inc(len(records))
+    registry.counter("analysis.aggregate_flows.flows_out").inc(len(flows))
+    return flows
+
+
+def _aggregate_flows_impl(records: PacketRecords, timeout: float) -> list[Flow]:
     check_positive("timeout", timeout)
     n = len(records)
     if n == 0:

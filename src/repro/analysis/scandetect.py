@@ -24,6 +24,7 @@ import numpy as np
 from repro._util import check_positive
 from repro.analysis.records import PacketRecords
 from repro.net.addr import mask_u64, pack_key_u64
+from repro.obs import get_registry
 
 #: Paper's scan definition parameters.
 DEFAULT_MIN_TARGETS = 100
@@ -71,6 +72,21 @@ def detect_scans(
     exceeds ``timeout``; sessions reaching ``min_targets`` distinct /128
     destinations become :class:`ScanEvent`s.
     """
+    registry = get_registry()
+    with registry.timer("analysis.detect_scans"):
+        events = _detect_scans_impl(records, source_length, min_targets,
+                                    timeout)
+    registry.counter("analysis.detect_scans.records_in").inc(len(records))
+    registry.counter("analysis.detect_scans.events_out").inc(len(events))
+    return events
+
+
+def _detect_scans_impl(
+    records: PacketRecords,
+    source_length: int,
+    min_targets: int,
+    timeout: float,
+) -> list[ScanEvent]:
     _validate(min_targets, timeout)
     n = len(records)
     if n == 0:

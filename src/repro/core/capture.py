@@ -13,6 +13,7 @@ import os
 
 from repro.net.packet import Packet
 from repro.net.pcapstore import PacketWriter
+from repro.obs import get_registry
 
 _U64 = 0xFFFFFFFFFFFFFFFF
 
@@ -32,12 +33,16 @@ class PacketCapturer:
         self._sport: list[int] = []
         self._dport: list[int] = []
         self._writer = PacketWriter(mirror_path) if mirror_path else None
+        self._packet_metric = get_registry().counter(
+            f"telescope.{name}.packets"
+        )
 
     def __len__(self) -> int:
         return len(self._ts)
 
     def capture(self, pkt: Packet) -> None:
         """Record one packet."""
+        self._packet_metric.inc()
         self._ts.append(pkt.timestamp)
         self._src_hi.append((pkt.src >> 64) & _U64)
         self._src_lo.append(pkt.src & _U64)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.net.addr import IPv6Prefix
+from repro.obs import get_registry
 from repro.net.packet import (
     ICMPV6,
     TCP,
@@ -121,6 +122,7 @@ class TPotInstance:
         self.containers = containers
         self.ipv4_address = ipv4_address
         self.interactions: list[InteractionLog] = []
+        self._m_interactions = get_registry().counter("tpot.interactions")
         surface: dict[tuple[int, int], Container] = {}
         for container in containers:
             for port in container.tcp_ports:
@@ -148,6 +150,7 @@ class TPotInstance:
                 )]
             if pkt.flags & TcpFlags.ACK and not pkt.payload:
                 # Handshake completion: high-interaction pots speak first.
+                self._m_interactions.inc()
                 self.interactions.append(InteractionLog(
                     pkt.timestamp, container.name, pkt.src, TCP, pkt.dport,
                     pkt.dst,
@@ -160,6 +163,7 @@ class TPotInstance:
                     )]
                 return []
             if pkt.payload:
+                self._m_interactions.inc()
                 self.interactions.append(InteractionLog(
                     pkt.timestamp, container.name, pkt.src, TCP, pkt.dport,
                     pkt.dst, data=pkt.payload,
@@ -170,6 +174,7 @@ class TPotInstance:
                 )]
             return []
         # UDP: answer with a generic service response.
+        self._m_interactions.inc()
         self.interactions.append(InteractionLog(
             pkt.timestamp, container.name, pkt.src, UDP, pkt.dport,
             pkt.dst, data=pkt.payload,
@@ -208,6 +213,10 @@ class DnatGateway:
         self._flow_ports: dict[tuple[int, int, int, int], int] = {}
         self.rx_count = 0
         self.tx_count = 0
+        registry = get_registry()
+        self._m_rx = registry.counter("tpot.gateway.rx")
+        self._m_tx = registry.counter("tpot.gateway.tx")
+        self._m_nat = registry.counter("tpot.gateway.nat_entries")
 
     def set_transmit(self, transmit: Callable[[Packet], None]) -> None:
         self._transmit = transmit
@@ -235,11 +244,13 @@ class DnatGateway:
     def handle(self, pkt: Packet) -> None:
         """Process one packet arriving for the honeyprefix."""
         self.rx_count += 1
+        self._m_rx.inc()
         if pkt.dst not in self.prefix:
             return
         if pkt.proto == ICMPV6:
             if pkt.is_icmp_echo_request:
                 self.tx_count += 1
+                self._m_tx.inc()
                 self._transmit(icmp_echo_reply(pkt))
             return
         if not self.tpot.listens(pkt.proto, pkt.dport):
@@ -249,6 +260,7 @@ class DnatGateway:
         if nat_port is None:
             nat_port = self._assign_port()
             self._flow_ports[flow_key] = nat_port
+            self._m_nat.inc()
             if len(self.nat_log) < self.max_nat_entries:
                 self.nat_log.append(
                     DnatLogEntry(pkt.timestamp, pkt.dst, nat_port)
@@ -278,6 +290,7 @@ class DnatGateway:
                 ack=response.ack,
             )
             self.tx_count += 1
+            self._m_tx.inc()
             self._transmit(out)
 
     def recover_destination(self, timestamp: float, source_port: int) -> int | None:

@@ -27,6 +27,7 @@ from typing import Callable
 
 from repro.core.honeyprefix import Honeyprefix
 from repro.net.addr import aggregate
+from repro.obs import get_registry
 from repro.net.packet import (
     ICMPV6,
     TCP,
@@ -100,6 +101,16 @@ class Twinklenet:
         self._owner_index: dict[tuple[int, int], tuple[int, Honeyprefix]] = {}
         self._owner_lengths: list[int] = []
         self._indexed_count = -1
+        registry = get_registry()
+        self._m_rx = registry.counter("twinklenet.rx")
+        self._m_opened = registry.counter("twinklenet.sessions.opened")
+        self._m_evicted = registry.counter("twinklenet.sessions.evicted")
+        self._m_completed = registry.counter("twinklenet.sessions.completed")
+        self._m_torn_down = registry.counter("twinklenet.sessions.torn_down")
+        self._m_reply_icmp = registry.counter("twinklenet.replies.icmp")
+        self._m_reply_tcp = registry.counter("twinklenet.replies.tcp")
+        self._m_reply_dns = registry.counter("twinklenet.replies.dns")
+        self._m_reply_ntp = registry.counter("twinklenet.replies.ntp")
 
     def set_transmit(self, transmit: Callable[[Packet], None]) -> None:
         self._transmit = transmit
@@ -143,6 +154,7 @@ class Twinklenet:
     def handle(self, pkt: Packet) -> None:
         """Process one incoming packet, possibly emitting responses."""
         self.rx_count += 1
+        self._m_rx.inc()
         hp = self._owner(pkt.dst)
         if hp is None:
             return
@@ -157,6 +169,7 @@ class Twinklenet:
 
     def _handle_icmp(self, pkt: Packet, hp: Honeyprefix) -> None:
         if pkt.is_icmp_echo_request and hp.responds(pkt.dst, ICMPV6, None):
+            self._m_reply_icmp.inc()
             self._send(icmp_echo_reply(pkt))
 
     # -- TCP -------------------------------------------------------------
@@ -176,6 +189,7 @@ class Twinklenet:
         for key in expired:
             del self._sessions[key]
         self.sessions_evicted += len(expired)
+        self._m_evicted.inc(len(expired))
 
     def _handle_tcp(self, pkt: Packet, hp: Honeyprefix) -> None:
         self._evict_stale_sessions(pkt.timestamp)
@@ -190,11 +204,14 @@ class Twinklenet:
                 # insertion order is idle order).
                 del self._sessions[next(iter(self._sessions))]
                 self.sessions_evicted += 1
+                self._m_evicted.inc()
             self._sessions[key] = TcpSession(
                 peer=pkt.src, peer_port=pkt.sport,
                 local=pkt.dst, local_port=pkt.dport,
                 opened_at=pkt.timestamp, last_seen=pkt.timestamp,
             )
+            self._m_opened.inc()
+            self._m_reply_tcp.inc()
             self._send(tcp_segment(
                 pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
                 TcpFlags.SYN | TcpFlags.ACK, seq=0, ack=pkt.seq + 1,
@@ -202,6 +219,7 @@ class Twinklenet:
             return
         if session is None:
             # Mid-stream segment with no session: RST per Table 7.
+            self._m_reply_tcp.inc()
             self._send(tcp_segment(
                 pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
                 TcpFlags.RST, seq=pkt.ack,
@@ -214,6 +232,8 @@ class Twinklenet:
             # Capture the first data, then close gracefully with FIN.
             session.first_data = pkt.payload
             session.state = "closing"
+            self._m_completed.inc()
+            self._m_reply_tcp.inc()
             self._send(tcp_segment(
                 pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
                 TcpFlags.FIN | TcpFlags.ACK,
@@ -226,7 +246,9 @@ class Twinklenet:
             # Peer teardown: forget the session.  A FIN gets its ACK; an
             # RST is dropped silently.
             del self._sessions[key]
+            self._m_torn_down.inc()
             if pkt.flags & TcpFlags.FIN and not pkt.flags & TcpFlags.RST:
+                self._m_reply_tcp.inc()
                 self._send(tcp_segment(
                     pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
                     TcpFlags.ACK, seq=1, ack=pkt.seq + 1,
@@ -244,10 +266,12 @@ class Twinklenet:
             # bytes), SERVFAIL flags, and zeroed section counts.
             txid = pkt.payload[:2].ljust(2, b"\x00")
             payload = txid + DNS_SERVFAIL_PAYLOAD + _DNS_ZERO_COUNTS
+            self._m_reply_dns.inc()
             self._send(udp_datagram(
                 pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport, payload
             ))
         elif pkt.dport == NTP_PORT:
+            self._m_reply_ntp.inc()
             self._send(udp_datagram(
                 pkt.timestamp, pkt.dst, pkt.src, pkt.dport, pkt.sport,
                 NTP_KOD_PAYLOAD,

@@ -11,6 +11,7 @@ from __future__ import annotations
 import io
 
 from repro.experiments import EXPERIMENTS
+from repro.obs import get_registry
 from repro.sim.runner import ScenarioResult
 
 
@@ -42,11 +43,17 @@ def run_all(
             f"# scenario: {config.duration_days} days, "
             f"volume_scale={config.volume_scale}, seed={config.seed}\n"
         )
+    registry = get_registry()
     for experiment_id in ids:
         driver, needs_result = EXPERIMENTS[experiment_id]
         buffer.write(f"\n## {experiment_id}\n")
+        if needs_result:
+            registry.gauge(f"experiment.{experiment_id}.records_in").set(
+                len(result.nta) + len(result.ntb) + len(result.ntc)
+            )
         try:
-            output = driver(result) if needs_result else driver()
+            with registry.timer(f"experiment.{experiment_id}"):
+                output = driver(result) if needs_result else driver()
         except ValueError as error:
             # An experiment can be unrunnable in the configured horizon
             # (e.g. the retraction happens after the window ends); note it

@@ -1,0 +1,37 @@
+"""Lightweight observability for the telescope pipeline.
+
+The registry is process-wide and disabled by default: until something calls
+:func:`set_registry` (or the CLI's ``--metrics`` flag does it), every
+component holds no-op null metrics and the instrumented hot paths cost one
+no-op method call per event.  Enable metrics *before* constructing the
+scenario — components bind their counters at construction time.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    Timing,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.timer import NULL_TIMER, StageTimer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_TIMER",
+    "StageTimer",
+    "Timing",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]

@@ -1,0 +1,372 @@
+"""The metrics registry: counters, gauges, histograms, stage timings.
+
+Single-threaded fast path: metrics are plain Python objects mutated without
+locks (the simulator is single-threaded; a multi-threaded deployment would
+shard registries per worker and merge snapshots).  ``snapshot()`` returns a
+plain dict of JSON-serializable values; ``to_json``/``write_json`` export it.
+
+The module also owns the *active* registry.  It defaults to
+:data:`NULL_REGISTRY`, whose metrics are shared no-op singletons, so
+instrumentation in hot paths costs one no-op method call when metrics are
+off.  Components bind their metric objects at construction time via
+:func:`get_registry`, so enable metrics before building the scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.obs.timer import NULL_TIMER, StageTimer
+
+
+class Counter:
+    """A monotonically increasing count (floats allowed for volumes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def dec(self, n: int | float = 1) -> None:
+        self.value -= n
+
+
+#: Default histogram bucket edges: log decades covering microseconds to
+#: kiloseconds — a sensible span for durations in seconds.
+DEFAULT_EDGES: tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 4))
+
+
+class Histogram:
+    """A fixed-bucket histogram with quantile estimation.
+
+    Bucket ``i`` holds observations in ``(edges[i-1], edges[i]]``; bucket
+    ``len(edges)`` is the overflow bucket.  Quantiles are estimated by
+    linear interpolation inside the owning bucket (clamped to the observed
+    min/max for the open-ended end buckets), so an estimate is never off by
+    more than one bucket width from the empirical percentile.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, edges: Sequence[float] | None = None):
+        self.name = name
+        if edges is None:
+            edges = DEFAULT_EDGES
+        self.edges = tuple(float(e) for e in edges)
+        if list(self.edges) != sorted(set(self.edges)):
+            raise ValueError("bucket edges must be strictly increasing")
+        if not self.edges:
+            raise ValueError("a histogram needs at least one bucket edge")
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def _bucket_bounds(self, index: int) -> tuple[float, float]:
+        lo = self.edges[index - 1] if index > 0 else min(self.min, self.edges[0])
+        hi = self.edges[index] if index < len(self.edges) else self.max
+        return lo, max(hi, lo)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (numpy's linear-interpolation rank)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q!r}")
+        if self.count == 0:
+            return float("nan")
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * (self.count - 1)
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n > rank:
+                lo, hi = self._bucket_bounds(i)
+                frac = (rank - cumulative) / n
+                estimate = lo + (hi - lo) * frac
+                return min(max(estimate, self.min), self.max)
+            cumulative += n
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class Timing:
+    """Accumulated wall-clock seconds of one named stage."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def inc(self, n: int | float = 1) -> None:
+        pass
+
+    def dec(self, n: int | float = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    edges: tuple[float, ...] = ()
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return float("nan")
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+class _NullTiming:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_TIMING = _NullTiming()
+
+
+class MetricsRegistry:
+    """Process-wide named metrics with get-or-create semantics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._timings: dict[str, Timing] = {}
+
+    # -- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] | None = None) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, edges)
+        elif edges is not None and tuple(float(e) for e in edges) != metric.edges:
+            raise ValueError(f"histogram {name!r} already exists with "
+                             f"different bucket edges")
+        return metric
+
+    def timing(self, name: str) -> Timing:
+        metric = self._timings.get(name)
+        if metric is None:
+            metric = self._timings[name] = Timing(name)
+        return metric
+
+    def timer(self, name: str) -> StageTimer:
+        """A fresh context manager recording into the named timing (fresh
+        per call, so same-name timers nest safely)."""
+        return StageTimer(self.timing(name))
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot of every metric, sorted by name."""
+        return {
+            "counters": {n: self._counters[n].value
+                         for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value
+                       for n in sorted(self._gauges)},
+            "timings": {n: self._timings[n].snapshot()
+                        for n in sorted(self._timings)},
+            "histograms": {n: self._histograms[n].snapshot()
+                           for n in sorted(self._histograms)},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as stream:
+            stream.write(self.to_json())
+            stream.write("\n")
+
+    def render_table(self) -> str:
+        """Sorted human-readable snapshot table."""
+        snap = self.snapshot()
+        width = max((len(n) for kind in ("counters", "gauges", "timings")
+                     for n in snap[kind]), default=20)
+        lines = ["== metrics snapshot =="]
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<{width}}  {value:>14,}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:<{width}}  {value:>14,}")
+        for name, stats in snap["timings"].items():
+            lines.append(
+                f"  {name:<{width}}  {stats['total']:>12.3f}s  "
+                f"(n={stats['count']}, mean {stats['mean'] * 1e3:.2f} ms)"
+            )
+        for name, stats in snap["histograms"].items():
+            lines.append(
+                f"  {name:<{width}}  n={stats['count']} sum={stats['sum']:.4g}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._timings.clear()
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every accessor returns a shared no-op metric."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] | None = None) -> Histogram:
+        return _NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def timing(self, name: str) -> Timing:
+        return _NULL_TIMING  # type: ignore[return-value]
+
+    def timer(self, name: str) -> StageTimer:
+        return NULL_TIMER  # type: ignore[return-value]
+
+
+#: The shared disabled registry; also the default active registry.
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry (the null registry unless metrics are enabled)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` (None restores the null registry); returns the
+    previously active one so callers can restore it."""
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`set_registry` for tests and embedded callers."""
+    previous = set_registry(registry)
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)

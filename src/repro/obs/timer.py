@@ -1,0 +1,51 @@
+"""Stage timing: a context manager recording wall-clock seconds.
+
+Kept in its own module (imported by ``registry``) so the registry module
+can hand out timers without a circular import.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class StageTimer:
+    """Times one ``with`` block into a :class:`~repro.obs.registry.Timing`.
+
+    Registries return a fresh instance per :meth:`~MetricsRegistry.timer`
+    call, so timers for the same stage name nest without clobbering each
+    other's start times.
+    """
+
+    __slots__ = ("_timing", "_start")
+
+    def __init__(self, timing):
+        self._timing = timing
+        self._start = 0.0
+
+    @property
+    def stage(self) -> str:
+        return self._timing.name
+
+    def __enter__(self) -> "StageTimer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timing.observe(perf_counter() - self._start)
+
+
+class _NullTimer:
+    """No-op stage timer: the null registry's shared singleton."""
+
+    __slots__ = ()
+    stage = "null"
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_TIMER = _NullTimer()

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro._util import make_rng, spawn_rngs
 from repro.net.addr import IPv6Prefix
+from repro.obs import get_registry
 from repro.routing.messages import Announcement, Withdrawal
 from repro.routing.rpki import RoaRegistry, RpkiValidity
 
@@ -111,6 +112,10 @@ class CollectorSystem:
         self.reach_probability = reach_probability
         self.min_delay = min_delay
         self.max_delay = max_delay
+        registry = get_registry()
+        self._m_announcements = registry.counter("bgp.announcements")
+        self._m_withdrawals = registry.counter("bgp.withdrawals")
+        self._m_records = registry.counter("bgp.collector_records")
         self.collectors: list[RouteCollector] = []
         strict_flags = self._rng.random(n_collectors) < 0.4
         for i in range(n_collectors):
@@ -132,6 +137,7 @@ class CollectorSystem:
 
     def announce(self, announcement: Announcement) -> list[RouteCollector]:
         """Propagate an announcement; return the collectors that accepted it."""
+        self._m_announcements.inc()
         validity = self._validity(
             announcement.prefix, announcement.origin_asn, announcement.timestamp
         )
@@ -146,15 +152,18 @@ class CollectorSystem:
                 continue
             collector.record(announcement, announcement.timestamp + self._delay())
             reached.append(collector)
+        self._m_records.inc(len(reached))
         return reached
 
     def withdraw(self, withdrawal: Withdrawal) -> list[RouteCollector]:
         """Propagate a withdrawal to every collector carrying the prefix."""
+        self._m_withdrawals.inc()
         reached = []
         for collector in self.collectors:
             if collector.carries(withdrawal.prefix, withdrawal.timestamp):
                 collector.record(withdrawal, withdrawal.timestamp + self._delay())
                 reached.append(collector)
+        self._m_records.inc(len(reached))
         return reached
 
     def visibility_count(self, prefix: IPv6Prefix, at: float) -> int:

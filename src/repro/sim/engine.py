@@ -11,7 +11,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
+
+from repro.obs import MetricsRegistry, get_registry
 
 
 @dataclass(order=True)
@@ -27,11 +30,18 @@ class Event:
 class Engine:
     """Heap-based discrete-event scheduler."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0,
+                 metrics: MetricsRegistry | None = None):
         self.now = start_time
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self.processed = 0
+        self._metrics = metrics if metrics is not None else get_registry()
+        self._event_counter = self._metrics.counter("engine.events")
+        #: Event-loop profile: label -> [count, wall-clock seconds].  Only
+        #: populated when metrics are enabled — timing every callback costs
+        #: two clock reads per event.
+        self.profile: dict[str, list] = {}
 
     def schedule(self, time: float, action: Callable[[], None],
                  label: str = "") -> Event:
@@ -62,7 +72,21 @@ class Engine:
             return None
         event = heapq.heappop(self._queue)
         self.now = event.time
-        event.action()
+        if self._metrics.enabled:
+            start = perf_counter()
+            event.action()
+            elapsed = perf_counter() - start
+            self._event_counter.inc()
+            label = event.label or "(unlabeled)"
+            self._metrics.counter(f"engine.events.{label}").inc()
+            self._metrics.timing(f"engine.event.{label}").observe(elapsed)
+            stats = self.profile.get(label)
+            if stats is None:
+                stats = self.profile[label] = [0, 0.0]
+            stats[0] += 1
+            stats[1] += elapsed
+        else:
+            event.action()
         self.processed += 1
         return event
 

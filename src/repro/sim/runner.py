@@ -12,7 +12,12 @@ from repro.analysis.asinfo import MetadataJoiner
 from repro.analysis.records import PacketRecords
 from repro.core.honeyprefix import Honeyprefix
 from repro.net.addr import IPv6Prefix
+from repro.obs import get_registry
 from repro.sim.scenario import PaperScenario, ScenarioConfig
+
+#: A /48-truncated address has its low 80 bits zeroed; prefixes whose
+#: network keeps any of those bits set can never equal a truncated net.
+_LOW80 = (1 << 80) - 1
 
 
 @dataclass
@@ -23,6 +28,9 @@ class ScenarioResult:
     nta: PacketRecords
     ntb: PacketRecords
     ntc: PacketRecords
+    #: Metrics snapshot taken right after the run (empty when metrics are
+    #: disabled) — experiments join their own numbers against it.
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def config(self) -> ScenarioConfig:
@@ -55,8 +63,34 @@ class ScenarioResult:
 
         The paper's counterfactuals use the control subnet that received the
         most scanner attention, which lower-bounds the effect sizes.
+
+        Vectorized: the /48 truncation ``(dst >> 80) << 80`` lives entirely
+        in the high 64 bits, so the per-row nets come straight from the
+        ``dst_hi`` column.  Ties on the packet count are broken by first
+        appearance, matching :meth:`control_records_reference` exactly.
         """
-        covering = self.scenario.nta_covering
+        if len(self.nta) == 0:
+            return PacketRecords.empty()
+        excluded = {hp.prefix.network for hp in self.honeyprefixes.values()}
+        excluded |= {p.network for p in self.scenario.live_prefixes}
+        excluded_hi = np.fromiter(
+            (net >> 64 for net in excluded if net & _LOW80 == 0),
+            dtype=np.uint64,
+        )
+        nets_hi = (self.nta.dst_hi >> np.uint64(16)) << np.uint64(16)
+        candidates = nets_hi[~np.isin(nets_hi, excluded_hi)]
+        if candidates.size == 0:
+            return PacketRecords.empty()
+        uniq, first_seen, counts = np.unique(
+            candidates, return_index=True, return_counts=True
+        )
+        ties = np.flatnonzero(counts == counts.max())
+        best = uniq[ties[np.argmin(first_seen[ties])]]
+        return self.nta.select(nets_hi == best)
+
+    def control_records_reference(self) -> PacketRecords:
+        """Per-packet reference for :meth:`control_records` (ground truth
+        for the randomized equivalence tests)."""
         honey = {hp.prefix.network for hp in self.honeyprefixes.values()}
         live = {p.network for p in self.scenario.live_prefixes}
         nets = np.zeros(len(self.nta), dtype=object)
@@ -80,12 +114,25 @@ class ScenarioResult:
 def run_scenario(
     config: ScenarioConfig | None = None, progress: bool = False
 ) -> ScenarioResult:
-    """Build, run, and bundle one full scenario."""
-    scenario = PaperScenario(config)
-    scenario.run(progress=progress)
+    """Build, run, and bundle one full scenario.
+
+    Each stage (world construction, the day loop, freezing the captures)
+    is timed into the active metrics registry, and the resulting snapshot
+    rides along as :attr:`ScenarioResult.telemetry`.
+    """
+    registry = get_registry()
+    with registry.timer("scenario.build"):
+        scenario = PaperScenario(config)
+    with registry.timer("scenario.run"):
+        scenario.run(progress=progress)
+    with registry.timer("scenario.freeze"):
+        nta = scenario.telescope.capturer.to_records()
+        ntb = scenario.ntb_capturer.to_records()
+        ntc = scenario.ntc_capturer.to_records()
+    registry.gauge("scenario.records.nta").set(len(nta))
+    registry.gauge("scenario.records.ntb").set(len(ntb))
+    registry.gauge("scenario.records.ntc").set(len(ntc))
     return ScenarioResult(
-        scenario=scenario,
-        nta=scenario.telescope.capturer.to_records(),
-        ntb=scenario.ntb_capturer.to_records(),
-        ntc=scenario.ntc_capturer.to_records(),
+        scenario=scenario, nta=nta, ntb=ntb, ntc=ntc,
+        telemetry=registry.snapshot() if registry.enabled else {},
     )

@@ -464,6 +464,11 @@ class PaperScenario:
         """Simulate day ``day``; returns the number of packets dispatched."""
         day_start = day * DAY
         day_end = (day + 1) * DAY
+        # A no-op day-boundary tick: keeps the engine's event-loop profile
+        # populated (and day boundaries visible in it) even on short runs
+        # where no deployment or hitlist event fires.  Touches no RNG, so
+        # determinism is unaffected.
+        self.engine.schedule(day_end, lambda: None, label="day boundary")
         self.engine.run_until(day_end)
         emitted = 0
         for agent in self.agents:

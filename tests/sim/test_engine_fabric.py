@@ -38,6 +38,28 @@ class TestEngine:
         assert engine.now == 3.0
         assert order == [1]
 
+    def test_profile_empty_when_metrics_disabled(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None, label="tick")
+        engine.run()
+        assert engine.profile == {}
+
+    def test_profile_counts_and_times_by_label(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as registry:
+            engine = Engine()
+            engine.schedule(1.0, lambda: None, label="tick")
+            engine.schedule(2.0, lambda: None, label="tick")
+            engine.schedule(3.0, lambda: None)
+            engine.run()
+        assert set(engine.profile) == {"tick", "(unlabeled)"}
+        count, seconds = engine.profile["tick"]
+        assert count == 2 and seconds >= 0.0
+        assert registry.counter("engine.events").value == 3
+        assert registry.counter("engine.events.tick").value == 2
+        assert registry.timing("engine.event.tick").count == 2
+
     def test_cannot_schedule_in_past(self):
         engine = Engine()
         engine.schedule(5.0, lambda: None)

@@ -117,3 +117,21 @@ class TestCli:
     def test_cdn_experiment(self, capsys):
         assert main(["experiment", "fig13"]) == 0
         assert "Fig 13" in capsys.readouterr().out
+
+    def test_metrics_snapshot_printed(self, capsys):
+        assert main(["experiment", "table2", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics snapshot ==" in out
+        assert "experiment.table2" in out
+
+    def test_metrics_json_written(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import NULL_REGISTRY, get_registry
+
+        path = tmp_path / "metrics.json"
+        assert main(["experiment", "table2", f"--metrics={path}"]) == 0
+        snapshot = json.loads(path.read_text())
+        assert "experiment.table2" in snapshot["timings"]
+        # the CLI must restore the null registry after the run.
+        assert get_registry() is NULL_REGISTRY
