@@ -3,14 +3,19 @@
 ``PacketCapturer`` is the telescope's packet-capture stage: it appends each
 packet's analysis-relevant fields to growing column buffers (timestamps,
 src/dst split into uint64 halves, protocol, ports) and can simultaneously
-mirror full packets to a capture file.  ``to_records()`` freezes the buffers
-into :class:`repro.analysis.records.PacketRecords` for the pipeline.
+mirror full packets to a capture file.  The columnar fast path,
+:meth:`PacketCapturer.capture_batch`, appends whole numpy chunks instead of
+scalar fields.  ``to_records()`` freezes both — chunks and scalar tails, in
+arrival order — into :class:`repro.analysis.records.PacketRecords`.
 """
 
 from __future__ import annotations
 
 import os
 
+import numpy as np
+
+from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
 from repro.net.pcapstore import PacketWriter
 from repro.obs import get_registry
@@ -24,6 +29,9 @@ class PacketCapturer:
     def __init__(self, name: str = "capture",
                  mirror_path: str | os.PathLike | None = None):
         self.name = name
+        #: Frozen numpy chunks (from ``capture_batch`` and scalar flushes),
+        #: in arrival order.
+        self._chunks: list[PacketBatch] = []
         self._ts: list[float] = []
         self._src_hi: list[int] = []
         self._src_lo: list[int] = []
@@ -38,7 +46,7 @@ class PacketCapturer:
         )
 
     def __len__(self) -> int:
-        return len(self._ts)
+        return sum(len(c) for c in self._chunks) + len(self._ts)
 
     def capture(self, pkt: Packet) -> None:
         """Record one packet."""
@@ -54,6 +62,33 @@ class PacketCapturer:
         if self._writer is not None:
             self._writer.write(pkt)
 
+    def _flush_scalars(self) -> None:
+        """Freeze any scalar tail into a chunk so ordering is preserved
+        when scalar and batch captures interleave."""
+        if not self._ts:
+            return
+        self._chunks.append(PacketBatch.from_columns(
+            self._ts,
+            self._src_hi, self._src_lo, self._dst_hi, self._dst_lo,
+            self._proto, self._sport, self._dport,
+        ))
+        for col in (self._ts, self._src_hi, self._src_lo, self._dst_hi,
+                    self._dst_lo, self._proto, self._sport, self._dport):
+            col.clear()
+
+    def capture_batch(self, batch: PacketBatch) -> None:
+        """Record a whole columnar batch as one chunk (fast path)."""
+        if len(batch) == 0:
+            return
+        self._packet_metric.inc(len(batch))
+        self._flush_scalars()
+        self._chunks.append(batch)
+        if self._writer is not None:
+            # Mirroring is inherently per-packet; materialize (slow path,
+            # only paid when a capture file was requested).
+            for pkt in batch.iter_packets():
+                self._writer.write(pkt)
+
     def close(self) -> None:
         if self._writer is not None:
             self._writer.close()
@@ -64,9 +99,21 @@ class PacketCapturer:
         # Imported here to keep core importable without the analysis stack.
         from repro.analysis.records import PacketRecords
 
+        if not self._chunks:
+            return PacketRecords.from_columns(
+                ts=self._ts,
+                src_hi=self._src_hi, src_lo=self._src_lo,
+                dst_hi=self._dst_hi, dst_lo=self._dst_lo,
+                proto=self._proto, sport=self._sport, dport=self._dport,
+            )
+        self._flush_scalars()
         return PacketRecords.from_columns(
-            ts=self._ts,
-            src_hi=self._src_hi, src_lo=self._src_lo,
-            dst_hi=self._dst_hi, dst_lo=self._dst_lo,
-            proto=self._proto, sport=self._sport, dport=self._dport,
+            ts=np.concatenate([c.ts for c in self._chunks]),
+            src_hi=np.concatenate([c.src_hi for c in self._chunks]),
+            src_lo=np.concatenate([c.src_lo for c in self._chunks]),
+            dst_hi=np.concatenate([c.dst_hi for c in self._chunks]),
+            dst_lo=np.concatenate([c.dst_lo for c in self._chunks]),
+            proto=np.concatenate([c.proto for c in self._chunks]),
+            sport=np.concatenate([c.sport for c in self._chunks]),
+            dport=np.concatenate([c.dport for c in self._chunks]),
         )

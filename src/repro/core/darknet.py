@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.net.addr import IPv6Prefix
+from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
 
 
@@ -31,11 +32,15 @@ class DarknetTelescope:
         self.covering_prefix = covering_prefix
         self._assigned: list[IPv6Prefix] = []
         self._on_packet = on_packet
+        self._on_batch: Callable[[PacketBatch], None] | None = None
         self.captured_count = 0
         self.ignored_count = 0
 
-    def set_capture(self, on_packet: Callable[[Packet], None]) -> None:
+    def set_capture(self, on_packet: Callable[[Packet], None],
+                    on_batch: Callable[[PacketBatch], None] | None = None,
+                    ) -> None:
         self._on_packet = on_packet
+        self._on_batch = on_batch
 
     def assign(self, prefix: IPv6Prefix) -> None:
         """Mark ``prefix`` as in production use — its traffic is not dark."""
@@ -74,3 +79,23 @@ class DarknetTelescope:
                 self._on_packet(pkt)
         else:
             self.ignored_count += 1
+
+    def handle_batch(self, batch: PacketBatch) -> None:
+        """Columnar fast path: vectorized :meth:`monitors` over a batch.
+
+        Dark rows flow to the batch capture sink when one is installed;
+        otherwise they are materialized one by one for the scalar sink.
+        """
+        if len(batch) == 0:
+            return
+        dark = batch.mask_dst_in(self.covering_prefix)
+        for assigned in self._assigned:
+            dark &= ~batch.mask_dst_in(assigned)
+        captured = batch.select(dark)
+        self.captured_count += len(captured)
+        self.ignored_count += len(batch) - len(captured)
+        if self._on_batch is not None:
+            self._on_batch(captured)
+        elif self._on_packet is not None:
+            for pkt in captured.iter_packets():
+                self._on_packet(pkt)

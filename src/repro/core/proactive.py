@@ -40,7 +40,9 @@ from repro.dns.reverse import ReverseZone
 from repro.hitlist.categories import HitlistCategory
 from repro.hitlist.service import HitlistService
 from repro.net.addr import IPv6Prefix
-from repro.net.packet import ICMPV6, TCP, Packet
+from repro.net.batch import PacketBatch
+from repro.net.packet import ICMPV6, TCP, UDP, Packet
+from repro.obs import get_registry
 from repro.routing.speaker import BgpSpeaker
 from repro.tlsca.acme import AcmeClient
 from repro.tlsca.ca import RateLimitExceeded
@@ -200,8 +202,6 @@ class ProactiveTelescope:
         self.gateways[hp.name] = gateway
         # Mirror the T-Pot port surface onto the honeyprefix's responsive
         # map so hitlist probing and tactic attribution see it.
-        from repro.net.packet import UDP
-
         for port in tpot.open_ports(TCP):
             hp.add_responsive(gateway.target_address, TCP, port)
         for port in tpot.open_ports(UDP):
@@ -292,6 +292,99 @@ class ProactiveTelescope:
             self.gateways[hp.name].handle(pkt)
         else:
             self.twinklenet.handle(pkt)
+
+    def handle_batch(self, batch: PacketBatch) -> None:
+        """Columnar fast path: capture a whole batch, then react.
+
+        The batch is captured as one numpy chunk, split by honeyprefix /48
+        truncation keys vectorized, and only the rows that can actually
+        elicit a reply (aliased/bound ICMP, open TCP/UDP ports, every
+        in-prefix TCP row for Twinklenet's session machinery) are
+        materialized into per-packet honeypot calls.  Dark rows — the
+        overwhelming majority — are bulk-accounted via ``note_dark`` so rx
+        counters stay identical to the scalar path.
+        """
+        if len(batch) == 0:
+            return
+        registry = get_registry()
+        with registry.timer("telescope.capture"):
+            self.capturer.capture_batch(batch)
+        if not self._hp_by_48:
+            return
+        with registry.timer("telescope.react"):
+            shift = np.uint64(16)  # /48 keeps 48 of hi's 64 bits
+            hi48 = (batch.dst_hi >> shift) << shift
+            hp_keys_hi = np.fromiter(
+                (key >> 64 for key in self._hp_by_48),
+                dtype=np.uint64, count=len(self._hp_by_48),
+            )
+            hit = np.isin(hi48, hp_keys_hi)
+            if not hit.any():
+                return  # control space: pure darknet
+            for key_hi in np.unique(hi48[hit]):
+                hp = self._hp_by_48[int(key_hi) << 64]
+                sub = batch.select(hi48 == key_hi)
+                if hp.config.tpot:
+                    self._react_tpot_slice(hp, sub)
+                else:
+                    self._react_twinklenet_slice(hp, sub)
+
+    def _react_tpot_slice(self, hp: Honeyprefix, sub: PacketBatch) -> None:
+        """Route one honeyprefix's slice through its DNAT gateway,
+        materializing only rows the T-Pot surface can answer."""
+        gateway = self.gateways[hp.name]
+        in_pref = sub.mask_dst_in(gateway.prefix)
+        need = in_pref & (sub.proto == np.uint8(ICMPV6))
+        tcp_ports = np.asarray(gateway.tpot.open_ports(TCP), dtype=np.uint16)
+        udp_ports = np.asarray(gateway.tpot.open_ports(UDP), dtype=np.uint16)
+        need |= (in_pref & (sub.proto == np.uint8(TCP))
+                 & np.isin(sub.dport, tcp_ports))
+        need |= (in_pref & (sub.proto == np.uint8(UDP))
+                 & np.isin(sub.dport, udp_ports))
+        idx = np.nonzero(need)[0]
+        gateway.note_dark(len(sub) - len(idx))
+        for i in idx:
+            gateway.handle(sub.packet_at(int(i)))
+
+    def _react_twinklenet_slice(self, hp: Honeyprefix,
+                                sub: PacketBatch) -> None:
+        """Route one honeyprefix's slice through Twinklenet.
+
+        TCP rows always materialize (session table + eviction sweeps need
+        every in-prefix segment); ICMP/UDP rows materialize only when the
+        honeyprefix's responsiveness map can answer them.
+        """
+        in_pref = sub.mask_dst_in(hp.prefix)
+        need = in_pref & (sub.proto == np.uint8(TCP))
+        icmp = in_pref & (sub.proto == np.uint8(ICMPV6))
+        if hp.config.aliased:
+            need |= icmp
+        elif icmp.any():
+            need |= icmp & self._addr_mask(sub, hp.icmp_addresses())
+        udp = in_pref & (sub.proto == np.uint8(UDP))
+        if udp.any():
+            bound = np.zeros(len(sub), dtype=bool)
+            for addr, bindings in hp.responsive.items():
+                ports = [p for proto, p in bindings if proto == UDP]
+                if not ports:
+                    continue
+                bound |= (self._addr_mask(sub, [addr])
+                          & np.isin(sub.dport,
+                                    np.asarray(ports, dtype=np.uint16)))
+            need |= udp & bound
+        idx = np.nonzero(need)[0]
+        self.twinklenet.note_dark(len(sub) - len(idx))
+        for i in idx:
+            self.twinklenet.handle(sub.packet_at(int(i)))
+
+    @staticmethod
+    def _addr_mask(sub: PacketBatch, addresses: list[int]) -> np.ndarray:
+        """Rows of ``sub`` whose destination is one of ``addresses``."""
+        mask = np.zeros(len(sub), dtype=bool)
+        for addr in addresses:
+            mask |= ((sub.dst_hi == np.uint64(addr >> 64)) &
+                     (sub.dst_lo == np.uint64(addr & 0xFFFFFFFFFFFFFFFF)))
+        return mask
 
     # -- hitlist oracle ------------------------------------------------------
 

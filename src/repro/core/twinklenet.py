@@ -151,6 +151,12 @@ class Twinklenet:
         hp = self._owner(address)
         return hp is not None and hp.responds(address, proto, port)
 
+    def note_dark(self, n: int) -> None:
+        """Account ``n`` packets that were received but provably could not
+        elicit a reply (the columnar fast path skips materializing them)."""
+        self.rx_count += n
+        self._m_rx.inc(n)
+
     def handle(self, pkt: Packet) -> None:
         """Process one incoming packet, possibly emitting responses."""
         self.rx_count += 1

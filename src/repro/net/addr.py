@@ -351,6 +351,30 @@ def member_mask_u64(hi: np.ndarray, lo: np.ndarray,
     return in_set[ids[n_set:]]
 
 
+def random_addresses_u64(prefix: IPv6Prefix, rng: np.random.Generator,
+                         n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``n`` uniform addresses from ``prefix`` as (hi, lo) columns.
+
+    The columnar analogue of :meth:`IPv6Prefix.random_address`: host bits
+    are drawn as at most one uint64 column per half, so no Python-level
+    big-int arithmetic happens per address.
+    """
+    net_hi = np.uint64((prefix.network >> 64) & 0xFFFFFFFFFFFFFFFF)
+    net_lo = np.uint64(prefix.network & 0xFFFFFFFFFFFFFFFF)
+    host_bits = 128 - prefix.length
+    lo_bits = min(host_bits, 64)
+    hi_bits = host_bits - lo_bits
+    if lo_bits > 0:
+        lo = rng.integers(0, 1 << lo_bits, size=n, dtype=np.uint64) | net_lo
+    else:
+        lo = np.full(n, net_lo, dtype=np.uint64)
+    if hi_bits > 0:
+        hi = rng.integers(0, 1 << hi_bits, size=n, dtype=np.uint64) | net_hi
+    else:
+        hi = np.full(n, net_hi, dtype=np.uint64)
+    return hi, lo
+
+
 def parse_prefix(text: str) -> IPv6Prefix:
     """Convenience alias for :meth:`IPv6Prefix.parse`."""
     return IPv6Prefix.parse(text)

@@ -1,0 +1,181 @@
+"""Struct-of-arrays packet batches: the emission-side columnar format.
+
+A :class:`PacketBatch` carries the same eight columns the capture side
+records (``ts, src_hi, src_lo, dst_hi, dst_lo, proto, sport, dport``) so a
+whole day's probes flow from the scanner agents through dispatch and into
+:class:`~repro.core.capture.PacketCapturer` without ever materializing a
+per-packet :class:`~repro.net.packet.Packet` object.
+
+Batches carry *probe semantics*: every TCP row is a bare SYN, every UDP row
+carries the scanner's two-byte payload, and every ICMPv6 row is an Echo
+Request (``sport`` holds the ICMP type, exactly as in the scalar emission
+path).  :meth:`PacketBatch.packet_at` materializes a single row back into a
+``Packet`` under those semantics — the interactive honeypots (Twinklenet,
+T-Pot) only ever see the slice of a batch that can actually elicit a reply,
+and that slice goes through this method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.net.addr import IPv6Prefix, mask_u64
+from repro.net.packet import ICMPV6, TCP, UDP, IcmpType, Packet, TcpFlags
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+#: The two-byte payload scanner UDP probes carry (matches the scalar
+#: :func:`repro.net.packet.udp_datagram` emission path).
+PROBE_UDP_PAYLOAD = b"\x00\x01"
+
+
+@dataclass(frozen=True)
+class PacketBatch:
+    """An immutable columnar batch of probe packets."""
+
+    ts: np.ndarray        # float64
+    src_hi: np.ndarray    # uint64
+    src_lo: np.ndarray    # uint64
+    dst_hi: np.ndarray    # uint64
+    dst_lo: np.ndarray    # uint64
+    proto: np.ndarray     # uint8
+    sport: np.ndarray     # uint16
+    dport: np.ndarray     # uint16
+
+    def __post_init__(self) -> None:
+        n = len(self.ts)
+        for name in ("src_hi", "src_lo", "dst_hi", "dst_lo",
+                     "proto", "sport", "dport"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name} length mismatch")
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, ts, src_hi, src_lo, dst_hi, dst_lo,
+                     proto, sport, dport) -> "PacketBatch":
+        """Build a batch, coercing every column to its canonical dtype."""
+        return cls(
+            ts=np.asarray(ts, dtype=np.float64),
+            src_hi=np.asarray(src_hi, dtype=np.uint64),
+            src_lo=np.asarray(src_lo, dtype=np.uint64),
+            dst_hi=np.asarray(dst_hi, dtype=np.uint64),
+            dst_lo=np.asarray(dst_lo, dtype=np.uint64),
+            proto=np.asarray(proto, dtype=np.uint8),
+            sport=np.asarray(sport, dtype=np.uint16),
+            dport=np.asarray(dport, dtype=np.uint16),
+        )
+
+    @classmethod
+    def empty(cls) -> "PacketBatch":
+        return cls.from_columns([], [], [], [], [], [], [], [])
+
+    @classmethod
+    def from_packets(cls, packets: Iterable[Packet]) -> "PacketBatch":
+        cols: tuple[list, ...] = ([], [], [], [], [], [], [], [])
+        for p in packets:
+            cols[0].append(p.timestamp)
+            cols[1].append((p.src >> 64) & _U64)
+            cols[2].append(p.src & _U64)
+            cols[3].append((p.dst >> 64) & _U64)
+            cols[4].append(p.dst & _U64)
+            cols[5].append(p.proto)
+            cols[6].append(p.sport)
+            cols[7].append(p.dport)
+        return cls.from_columns(*cols)
+
+    @classmethod
+    def concat(cls, parts: list["PacketBatch"]) -> "PacketBatch":
+        if not parts:
+            return cls.empty()
+        if len(parts) == 1:
+            return parts[0]
+        return cls(
+            ts=np.concatenate([p.ts for p in parts]),
+            src_hi=np.concatenate([p.src_hi for p in parts]),
+            src_lo=np.concatenate([p.src_lo for p in parts]),
+            dst_hi=np.concatenate([p.dst_hi for p in parts]),
+            dst_lo=np.concatenate([p.dst_lo for p in parts]),
+            proto=np.concatenate([p.proto for p in parts]),
+            sport=np.concatenate([p.sport for p in parts]),
+            dport=np.concatenate([p.dport for p in parts]),
+        )
+
+    # -- basics ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def select(self, mask: np.ndarray) -> "PacketBatch":
+        """New batch containing the rows where ``mask`` is True (or the rows
+        at the given indices)."""
+        return PacketBatch(
+            ts=self.ts[mask],
+            src_hi=self.src_hi[mask], src_lo=self.src_lo[mask],
+            dst_hi=self.dst_hi[mask], dst_lo=self.dst_lo[mask],
+            proto=self.proto[mask], sport=self.sport[mask],
+            dport=self.dport[mask],
+        )
+
+    # -- masks -----------------------------------------------------------
+
+    def mask_dst_in(self, prefix: IPv6Prefix) -> np.ndarray:
+        """Rows whose destination lies inside ``prefix``."""
+        hi, lo = mask_u64(self.dst_hi, self.dst_lo, prefix.length)
+        want_hi = np.uint64((prefix.network >> 64) & _U64)
+        want_lo = np.uint64(prefix.network & _U64)
+        return (hi == want_hi) & (lo == want_lo)
+
+    # -- per-row materialization ------------------------------------------
+
+    def packet_at(self, i: int) -> Packet:
+        """Materialize row ``i`` as a probe :class:`Packet`.
+
+        Applies the batch's probe semantics: TCP rows become bare SYNs, UDP
+        rows carry :data:`PROBE_UDP_PAYLOAD`, ICMPv6 rows are Echo Requests
+        (their ``sport`` column already holds the ICMP type).
+        """
+        proto = int(self.proto[i])
+        flags = 0
+        payload = b""
+        if proto == TCP:
+            flags = int(TcpFlags.SYN)
+        elif proto == UDP:
+            payload = PROBE_UDP_PAYLOAD
+        return Packet(
+            timestamp=float(self.ts[i]),
+            src=(int(self.src_hi[i]) << 64) | int(self.src_lo[i]),
+            dst=(int(self.dst_hi[i]) << 64) | int(self.dst_lo[i]),
+            proto=proto,
+            sport=int(self.sport[i]),
+            dport=int(self.dport[i]),
+            flags=flags,
+            payload=payload,
+        )
+
+    def iter_packets(self) -> Iterator[Packet]:
+        """Materialize every row (slow path — reference/fallback only)."""
+        for i in range(len(self)):
+            yield self.packet_at(i)
+
+
+def probe_batch(ts, src_hi, src_lo, dst_hi, dst_lo, proto, sport, dport,
+                ) -> PacketBatch:
+    """Normalize freshly drawn emission columns into a :class:`PacketBatch`.
+
+    Enforces the probe invariants the scalar ``_packet_for`` path applies
+    per packet: ICMPv6 rows get the Echo Request type in ``sport`` and a
+    zero identifier in ``dport`` regardless of what the sampler drew.
+    """
+    proto = np.asarray(proto, dtype=np.uint8)
+    sport = np.asarray(sport, dtype=np.uint16).copy()
+    dport = np.asarray(dport, dtype=np.uint16).copy()
+    icmp = proto == np.uint8(ICMPV6)
+    sport[icmp] = np.uint16(int(IcmpType.ECHO_REQUEST))
+    dport[icmp] = np.uint16(0)
+    return PacketBatch.from_columns(
+        ts, src_hi, src_lo, dst_hi, dst_lo, proto, sport, dport
+    )

@@ -15,8 +15,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro._util import DAY, make_rng
-from repro.net.addr import IPv6Prefix
+from repro._util import DAY, make_rng, spawn_rngs
+from repro.net.addr import IPv6Prefix, split_u64
+from repro.net.batch import PacketBatch, probe_batch
 from repro.net.packet import (
     ICMPV6,
     TCP,
@@ -27,8 +28,14 @@ from repro.net.packet import (
     tcp_segment,
     udp_datagram,
 )
+from repro.obs.registry import get_registry
 from repro.scanners.identity import ScannerIdentity, SourceAllocator
-from repro.scanners.strategies import ProbeBatch, ProbeTarget, Strategy
+from repro.scanners.strategies import (
+    ProbeBatch,
+    ProbeTarget,
+    Strategy,
+    targets_to_columns,
+)
 
 
 @dataclass
@@ -86,6 +93,8 @@ class ScannerAgent:
         self.weekly_phase = float(self._rng.uniform(0, 2 * np.pi))
         self.sessions: list[ScanSession] = []
         self.packets_emitted = 0
+        self.sessions_dropped = 0
+        self._m_dropped = get_registry().counter("agent.sessions.dropped")
 
     # -- feeds ------------------------------------------------------------
 
@@ -95,7 +104,9 @@ class ScannerAgent:
         for strategy in self.strategies:
             for batch in strategy.poll(since, until, self._rng):
                 if len(self.sessions) >= self.max_sessions:
-                    break
+                    self.sessions_dropped += 1
+                    self._m_dropped.inc()
+                    continue
                 # Trigger-driven batches get a worker slice of the pool;
                 # long-running background scans rotate the whole pool.
                 slice_sources = (
@@ -124,29 +135,48 @@ class ScannerAgent:
     # -- emission -----------------------------------------------------------
 
     def _packet_for(self, target: ProbeTarget, ts: float,
-                    sources: list[int] | None = None) -> Packet:
+                    sources: list[int] | None = None,
+                    rng: np.random.Generator | None = None) -> Packet:
+        rng = self._rng if rng is None else rng
         if sources is not None:
-            src = sources[int(self._rng.integers(len(sources)))]
+            src = sources[int(rng.integers(len(sources)))]
         else:
-            src = self.allocator.source()
+            src = self.allocator.source(rng)
         if target.proto == ICMPV6:
             return icmp_echo_request(ts, src, target.address)
         if target.proto == TCP:
-            sport = int(self._rng.integers(32_768, 61_000))
+            sport = int(rng.integers(32_768, 61_000))
             return tcp_segment(ts, src, target.address, sport, target.dport,
                                TcpFlags.SYN)
-        sport = int(self._rng.integers(32_768, 61_000))
+        sport = int(rng.integers(32_768, 61_000))
         return udp_datagram(ts, src, target.address, sport, target.dport,
                             payload=b"\x00\x01")
 
-    def emit_day(self, day_start: float, day_end: float) -> list[Packet]:
-        """Emit this day's probe packets across all active sessions."""
-        self.allocator.new_session()
-        packets: list[Packet] = []
+    def _day_plan(
+        self, day_start: float, day_end: float,
+    ) -> tuple[list[tuple[ScanSession, int, float, float]],
+               np.random.Generator]:
+        """Draw the day's per-session packet counts and time bounds.
+
+        Counts come from the agent's main stream in session order, so both
+        emission paths (:meth:`emit_day` and :meth:`emit_day_batch`) consume
+        ``self._rng`` identically and produce *identical* per-day Poisson
+        counts under the same seed.  Packet contents are then drawn from a
+        spawned per-day child generator — spawning does not advance the
+        parent stream — which is what lets the fast path vectorize its draws
+        while staying statistically equivalent to the reference.
+
+        Each plan's time bounds are clamped to
+        ``min(day_end, cancelled_at, start + duration)``, the same window
+        :meth:`ScanSession.expected_packets` integrates over, so cancelled
+        or expiring sessions stop emitting at the instant their rate does
+        (the §5.3.1 retraction tail).
+        """
         day_index = day_start / DAY
         weekly = 1.0 + self.weekly_amplitude * float(
             np.sin(2 * np.pi * day_index / 7.0 + self.weekly_phase)
         )
+        plans: list[tuple[ScanSession, int, float, float]] = []
         for session in self.sessions:
             expected = session.expected_packets(day_start, day_end) * (
                 self.volume_scale * weekly
@@ -156,23 +186,85 @@ class ScannerAgent:
             n = int(self._rng.poisson(expected))
             if n == 0:
                 continue
-            timestamps = np.sort(
-                self._rng.uniform(
-                    max(day_start, session.batch.start), day_end, size=n
-                )
-            )
-            targets = session.batch.sampler(self._rng, n)
-            for ts, target in zip(timestamps, targets):
-                packets.append(
-                    self._packet_for(target, float(ts), session.sources)
-                )
-            session.packets_sent += n
-        # Retire long-dead sessions to bound memory.
+            lo = max(day_start, session.batch.start)
+            hi = day_end
+            if session.batch.cancelled_at is not None:
+                hi = min(hi, session.batch.cancelled_at)
+            hi = min(hi, session.batch.start + session.batch.duration)
+            plans.append((session, n, lo, hi))
+        return plans, spawn_rngs(self._rng, 1)[0]
+
+    def _retire_sessions(self, day_end: float) -> None:
+        """Retire long-dead sessions to bound memory."""
         self.sessions = [
             s for s in self.sessions
             if (s.batch.cancelled_at is None or
                 day_end < s.batch.cancelled_at + DAY)
             and day_end < s.batch.start + s.batch.duration + DAY
         ]
+
+    def emit_day(self, day_start: float, day_end: float) -> list[Packet]:
+        """Emit this day's probe packets across all active sessions.
+
+        Reference implementation: one :class:`Packet` object per probe.
+        The columnar fast path is :meth:`emit_day_batch`.
+        """
+        self.allocator.new_session()
+        plans, pkt_rng = self._day_plan(day_start, day_end)
+        packets: list[Packet] = []
+        for session, n, lo, hi in plans:
+            timestamps = np.sort(pkt_rng.uniform(lo, hi, size=n))
+            targets = session.batch.sampler(pkt_rng, n)
+            for ts, target in zip(timestamps, targets):
+                packets.append(
+                    self._packet_for(target, float(ts), session.sources,
+                                     pkt_rng)
+                )
+            session.packets_sent += n
+        self._retire_sessions(day_end)
         self.packets_emitted += len(packets)
         return packets
+
+    def emit_day_batch(self, day_start: float, day_end: float) -> PacketBatch:
+        """Columnar fast path: the whole day's probes as one batch.
+
+        Draws the identical per-session Poisson counts as :meth:`emit_day`
+        (both paths share :meth:`_day_plan`), then vectorizes timestamps,
+        targets, sources, and sport draws per session.  Samplers exposing a
+        ``sample_batch`` attribute produce columns directly; others fall
+        back to per-target materialization via
+        :func:`~repro.scanners.strategies.targets_to_columns`.
+        """
+        self.allocator.new_session()
+        plans, pkt_rng = self._day_plan(day_start, day_end)
+        parts: list[PacketBatch] = []
+        emitted = 0
+        for session, n, lo, hi in plans:
+            ts = np.sort(pkt_rng.uniform(lo, hi, size=n))
+            sampler = session.batch.sampler
+            sample_batch = getattr(sampler, "sample_batch", None)
+            if sample_batch is not None:
+                dst_hi, dst_lo, proto, dport = sample_batch(pkt_rng, n)
+            else:
+                dst_hi, dst_lo, proto, dport = targets_to_columns(
+                    sampler(pkt_rng, n)
+                )
+                # A sampler may return fewer targets than asked (the scalar
+                # zip truncates the same way).
+                ts = ts[:len(dst_hi)]
+            m = len(dst_hi)
+            if session.sources is not None:
+                pool_hi, pool_lo = split_u64(session.sources)
+                idx = pkt_rng.integers(0, len(session.sources), size=m)
+                src_hi, src_lo = pool_hi[idx], pool_lo[idx]
+            else:
+                src_hi, src_lo = self.allocator.sources_batch(m, pkt_rng)
+            sport = pkt_rng.integers(32_768, 61_000, size=m,
+                                     dtype=np.uint16)
+            parts.append(probe_batch(ts, src_hi, src_lo, dst_hi, dst_lo,
+                                     proto, sport, dport))
+            session.packets_sent += n
+            emitted += m
+        self._retire_sessions(day_end)
+        self.packets_emitted += emitted
+        return PacketBatch.concat(parts)

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro._util import make_rng
 from repro.datasets.asdb import AsCategory
-from repro.net.addr import IPv6Prefix
+from repro.net.addr import IPv6Prefix, random_addresses_u64, split_u64
 
 
 class AllocationMode(enum.Enum):
@@ -78,6 +78,7 @@ class SourceAllocator:
         else:
             self._pool = []
         self._session_addr: int | None = None
+        self._pool_cols: tuple[np.ndarray, np.ndarray] | None = None
         self.used: set[int] = set(self._pool)
 
     def _build_pool(self) -> list[int]:
@@ -124,18 +125,66 @@ class SourceAllocator:
         idx = self._rng.choice(len(self._pool), size=k, replace=False)
         return [self._pool[int(i)] for i in idx]
 
-    def source(self) -> int:
-        """Draw the source address for the next packet."""
+    def source(self, rng: np.random.Generator | None = None) -> int:
+        """Draw the source address for the next packet.
+
+        ``rng`` overrides the allocator's own stream for the random modes,
+        which lets :class:`~repro.scanners.agent.ScannerAgent` draw packet
+        contents from a per-day child generator (see ``_day_plan``).
+        """
+        rng = self._rng if rng is None else rng
         mode = self.identity.allocation
         if mode is AllocationMode.FIXED:
             return self._pool[0]
         if mode is AllocationMode.SMALL_POOL:
-            return self._pool[int(self._rng.integers(len(self._pool)))]
+            return self._pool[int(rng.integers(len(self._pool)))]
         if mode is AllocationMode.PER_SESSION:
             if self._session_addr is None:
                 self.new_session()
             return self._session_addr
         # PER_PACKET
-        addr = self.identity.source_prefix.random_address(self._rng).value
+        addr = self.identity.source_prefix.random_address(rng).value
         self.used.add(addr)
         return addr
+
+    def sources_batch(self, n: int, rng: np.random.Generator | None = None,
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` source addresses as (hi, lo) uint64 columns.
+
+        The columnar counterpart of calling :meth:`source` ``n`` times: the
+        same pool/session/per-packet semantics apply, only the draws are
+        vectorized.  PER_PACKET draws still feed :attr:`used` so blocklist
+        accounting matches the scalar path.
+        """
+        rng = self._rng if rng is None else rng
+        mode = self.identity.allocation
+        if mode is AllocationMode.FIXED:
+            addr = self._pool[0]
+            return (np.full(n, (addr >> 64) & 0xFFFFFFFFFFFFFFFF,
+                            dtype=np.uint64),
+                    np.full(n, addr & 0xFFFFFFFFFFFFFFFF, dtype=np.uint64))
+        if mode is AllocationMode.SMALL_POOL:
+            pool_hi, pool_lo = self._pool_columns()
+            idx = rng.integers(0, len(self._pool), size=n)
+            return pool_hi[idx], pool_lo[idx]
+        if mode is AllocationMode.PER_SESSION:
+            if self._session_addr is None:
+                self.new_session()
+            addr = self._session_addr
+            return (np.full(n, (addr >> 64) & 0xFFFFFFFFFFFFFFFF,
+                            dtype=np.uint64),
+                    np.full(n, addr & 0xFFFFFFFFFFFFFFFF, dtype=np.uint64))
+        # PER_PACKET
+        hi, lo = random_addresses_u64(self.identity.source_prefix, rng, n)
+        self.used.update(
+            ((hi.astype(object) << 64) | lo.astype(object)).tolist()
+        )
+        return hi, lo
+
+    def _pool_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """The SMALL_POOL addresses as cached (hi, lo) columns."""
+        cols = self._pool_cols
+        if cols is None:
+            cols = split_u64(self._pool)
+            self._pool_cols = cols
+        return cols

@@ -34,8 +34,31 @@ class ProbeTarget:
     dport: int = 0
 
 
-#: Draws ``n`` probe targets.
+#: Draws ``n`` probe targets.  Samplers may additionally carry a
+#: ``sample_batch(rng, n) -> (dst_hi, dst_lo, proto, dport)`` attribute —
+#: the columnar fast path :meth:`ScannerAgent.emit_day_batch` uses when
+#: present (falling back to the per-target list otherwise).
 TargetSampler = Callable[[np.random.Generator, int], list[ProbeTarget]]
+
+#: Columnar target draw: (dst_hi, dst_lo, proto, dport) numpy columns.
+TargetColumns = "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]"
+
+
+def targets_to_columns(targets: list[ProbeTarget]):
+    """Convert a per-target list into (dst_hi, dst_lo, proto, dport) columns.
+
+    The fallback bridge for samplers without a columnar fast path: the
+    targets are still drawn object-by-object, but everything downstream of
+    the sampler stays columnar.
+    """
+    n = len(targets)
+    dst_hi = np.fromiter(((t.address >> 64) & 0xFFFFFFFFFFFFFFFF
+                          for t in targets), dtype=np.uint64, count=n)
+    dst_lo = np.fromiter((t.address & 0xFFFFFFFFFFFFFFFF for t in targets),
+                         dtype=np.uint64, count=n)
+    proto = np.fromiter((t.proto for t in targets), dtype=np.uint8, count=n)
+    dport = np.fromiter((t.dport for t in targets), dtype=np.uint16, count=n)
+    return dst_hi, dst_lo, proto, dport
 
 
 @dataclass(frozen=True)
@@ -63,6 +86,36 @@ class ProtocolProfile:
             return ProbeTarget(address, TCP, port)
         port = self.udp_ports[int(rng.integers(len(self.udp_ports)))]
         return ProbeTarget(address, UDP, port)
+
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar protocol/port draw: ``(proto, dport)`` for ``n`` probes.
+
+        Statistically identical to ``n`` calls of :meth:`sample` (same
+        protocol mix, same uniform port choice), drawn in bulk.
+        """
+        weights = np.array(
+            [self.icmp_weight, self.tcp_weight, self.udp_weight]
+        )
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("protocol profile has no positive weight")
+        choice = rng.choice(3, size=n, p=weights / total)
+        proto = np.full(n, ICMPV6, dtype=np.uint8)
+        dport = np.zeros(n, dtype=np.uint16)
+        tcp = choice == 1
+        k = int(tcp.sum())
+        if k:
+            proto[tcp] = TCP
+            ports = np.asarray(self.tcp_ports, dtype=np.uint16)
+            dport[tcp] = ports[rng.integers(len(ports), size=k)]
+        udp = choice == 2
+        k = int(udp.sum())
+        if k:
+            proto[udp] = UDP
+            ports = np.asarray(self.udp_ports, dtype=np.uint16)
+            dport[udp] = ports[rng.integers(len(ports), size=k)]
+        return proto, dport
 
 
 @dataclass
@@ -143,6 +196,39 @@ def prefix_sampler(
             out.append(profile.sample(rng, addr))
         return out
 
+    if subnet_length <= 64:
+        # Columnar fast path: for the paper's /64 subnet granularity the
+        # subnet index and low offset land in separate uint64 halves, so
+        # the whole draw vectorizes.  (subnet_length > 64 would straddle
+        # the halves; those callers keep the per-target path.)
+        from repro.net.addr import random_addresses_u64
+
+        net_hi = np.uint64((prefix.network >> 64) & 0xFFFFFFFFFFFFFFFF)
+        net_lo = np.uint64(prefix.network & 0xFFFFFFFFFFFFFFFF)
+        n_subnets = 1 << min(subnet_length - prefix.length, 16)
+        subnet_shift = np.uint64(128 - subnet_length - 64)
+
+        def sample_batch(rng: np.random.Generator, n: int):
+            low = rng.random(n) < low_weight
+            dst_hi = np.empty(n, dtype=np.uint64)
+            dst_lo = np.empty(n, dtype=np.uint64)
+            k = int(low.sum())
+            if k:
+                subnet = rng.integers(min(n_subnets, 8), size=k,
+                                      dtype=np.uint64)
+                offset = rng.integers(1, low_span, size=k, dtype=np.uint64)
+                dst_hi[low] = net_hi | (subnet << subnet_shift)
+                dst_lo[low] = net_lo | offset
+            if k < n:
+                high = ~low
+                dst_hi[high], dst_lo[high] = random_addresses_u64(
+                    prefix, rng, n - k
+                )
+            proto, dport = profile.sample_batch(rng, n)
+            return dst_hi, dst_lo, proto, dport
+
+        sample.sample_batch = sample_batch
+
     return sample
 
 
@@ -156,6 +242,17 @@ def address_list_sampler(
     def sample(rng: np.random.Generator, n: int) -> list[ProbeTarget]:
         idx = rng.integers(0, len(targets), size=n)
         return [targets[int(i)] for i in idx]
+
+    # Columnar fast path: the target list is fixed, so its columns are
+    # computed once and every draw is a single fancy-index.
+    columns = targets_to_columns(targets)
+
+    def sample_batch(rng: np.random.Generator, n: int):
+        idx = rng.integers(0, len(targets), size=n)
+        dst_hi, dst_lo, proto, dport = columns
+        return dst_hi[idx], dst_lo[idx], proto[idx], dport[idx]
+
+    sample.sample_batch = sample_batch
 
     return sample
 
@@ -663,6 +760,28 @@ class CoveringSweeper(Strategy):
                         | int(rng.integers(1, 1 << 16)))
                 out.append(profile.sample(rng, addr))
             return out
+
+        # Columnar fast path: the /48 index shifts by 80 bits, i.e. by 16
+        # within the hi half, and the host offset fits the lo half.
+        net_hi = np.uint64((prefix.network >> 64) & 0xFFFFFFFFFFFFFFFF)
+        net_lo = np.uint64(prefix.network & 0xFFFFFFFFFFFFFFFF)
+
+        def sample_batch(rng: np.random.Generator, n: int):
+            low = rng.random(n) < low_bias
+            idx = np.empty(n, dtype=np.uint64)
+            k = int(low.sum())
+            if k:
+                idx[low] = rng.integers(min(16, n48), size=k,
+                                        dtype=np.uint64)
+            if k < n:
+                idx[~low] = rng.integers(n48, size=n - k, dtype=np.uint64)
+            dst_hi = net_hi | (idx << np.uint64(16))
+            dst_lo = net_lo | rng.integers(1, 1 << 16, size=n,
+                                           dtype=np.uint64)
+            proto, dport = profile.sample_batch(rng, n)
+            return dst_hi, dst_lo, proto, dport
+
+        sample.sample_batch = sample_batch
 
         return sample
 

@@ -47,6 +47,56 @@ class TestMinePatterns:
             assert (addr >> 4) & ((1 << 72) - 1) == 0
 
 
+class TestGenerateColumns:
+    """The columnar generator mirrors the scalar nibble loop."""
+
+    def test_columns_stay_in_prefix_and_pattern(self, rng):
+        seeds = [PREFIX.network | i for i in range(1, 5)]
+        (pattern,) = mine_patterns(seeds, 48)
+        hi, lo = pattern.generate_columns(rng, 200)
+        assert hi.dtype == np.uint64 and lo.dtype == np.uint64
+        for h, l in zip(hi.tolist(), lo.tolist()):
+            addr = (h << 64) | l
+            assert addr in PREFIX
+            assert (addr >> 4) & ((1 << 72) - 1) == 0
+
+    def test_nibble_marginals_match_scalar(self, rng):
+        seeds = [PREFIX.network | (i << 64) | (i % 3) for i in range(24)]
+        (pattern,) = mine_patterns(seeds, 48)
+        scalar = pattern.generate(np.random.default_rng(1), 4000)
+        hi, lo = pattern.generate_columns(np.random.default_rng(2), 4000)
+        scalar_lo = np.array([a & ((1 << 64) - 1) for a in scalar],
+                             dtype=np.uint64)
+        # Last nibble draws from the observed set {0, 1, 2} on both paths.
+        for value in range(3):
+            ref = float((scalar_lo & np.uint64(0xF) == value).mean())
+            col = float((lo & np.uint64(0xF) == value).mean())
+            assert abs(ref - col) < 0.05
+
+    def test_sampler_batch_matches_scalar_marginals(self, rng):
+        other = IPv6Prefix.parse("2001:db8:6::/48")
+        seeds = ([PREFIX.network | i for i in range(6)]
+                 + [other.network | i for i in range(6)])
+        tga = PatternTga(lambda s, u: seeds,
+                         profile=ProtocolProfile(icmp_weight=0.6,
+                                                 tcp_weight=0.4))
+        (batch,) = tga.poll(0.0, 100.0, rng)
+        sampler = batch.sampler
+        targets = sampler(np.random.default_rng(3), 4000)
+        dst_hi, dst_lo, proto, dport = sampler.sample_batch(
+            np.random.default_rng(4), 4000)
+        assert len(dst_hi) == 4000
+        # Pattern choice is uniform on both paths.
+        ref_share = sum(t.address in PREFIX for t in targets) / 4000
+        col_share = float(
+            (dst_hi == np.uint64(PREFIX.network >> 64)).mean())
+        assert abs(ref_share - col_share) < 0.05
+        # Protocol mix follows the profile on both paths.
+        ref_icmp = sum(t.proto == ICMPV6 for t in targets) / 4000
+        col_icmp = float((proto == np.uint8(ICMPV6)).mean())
+        assert abs(ref_icmp - col_icmp) < 0.05
+
+
 class TestPatternTga:
     def test_emits_batch_on_seeds(self, rng):
         tga = PatternTga(lambda s, u: [PREFIX.network | 1])
