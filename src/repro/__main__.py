@@ -7,8 +7,16 @@ Subcommands:
 * ``experiment <id> [...]`` — regenerate specific tables/figures.
 
 Options shared by ``run``/``experiment``: ``--days``, ``--scale``,
-``--seed``, ``--tail``, and ``--metrics[=FILE]`` (print a telemetry
-snapshot after the run; with ``FILE``, also write it as JSON).
+``--seed``, ``--tail``, and the observability trio (composable in one
+invocation):
+
+* ``--metrics[=FILE]`` — print a telemetry snapshot after the run; with
+  ``FILE``, also write it as JSON;
+* ``--trace[=FILE]`` — trace the pipeline and print a self-time-per-stage
+  table; with ``FILE``, also write Chrome/Perfetto trace-event JSON;
+* ``--journal[=FILE]`` — append the run-provenance journal (manifest,
+  per-day progress, session/honeyprefix lifecycle, detection summaries)
+  to ``FILE`` (default ``journal.jsonl``).
 """
 
 from __future__ import annotations
@@ -17,8 +25,19 @@ import argparse
 import sys
 
 from repro.experiments import EXPERIMENTS
-from repro.obs import MetricsRegistry, set_registry
+from repro.obs import (
+    Journal,
+    MetricsRegistry,
+    Tracer,
+    get_tracer,
+    set_journal,
+    set_registry,
+    set_tracer,
+)
 from repro.sim import ScenarioConfig, run_scenario
+
+#: --journal without a path appends here.
+DEFAULT_JOURNAL_PATH = "journal.jsonl"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,6 +61,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="FILE",
                        help="collect pipeline telemetry and print a sorted "
                             "snapshot; with FILE, also write it as JSON")
+        p.add_argument("--trace", nargs="?", const=True, default=None,
+                       metavar="FILE",
+                       help="trace the pipeline and print a self-time-per-"
+                            "stage table; with FILE, also write Chrome/"
+                            "Perfetto trace-event JSON")
+        p.add_argument("--journal", nargs="?", const=DEFAULT_JOURNAL_PATH,
+                       default=None, metavar="FILE",
+                       help="write the run-provenance journal (JSONL) to "
+                            f"FILE (default {DEFAULT_JOURNAL_PATH})")
 
     run_p = sub.add_parser("run", help="run the scenario, print headlines")
     add_scenario_args(run_p)
@@ -75,6 +103,15 @@ def _emit_metrics(registry: MetricsRegistry, metrics_arg) -> None:
         print(f"metrics written to {metrics_arg}", file=sys.stderr)
 
 
+def _emit_trace(tracer: Tracer, trace_arg) -> None:
+    """Print the self-time table; write Chrome trace when a path was given."""
+    print()
+    print(tracer.render_self_time())
+    if isinstance(trace_arg, str):
+        tracer.write_chrome_trace(trace_arg)
+        print(f"trace written to {trace_arg}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -85,24 +122,33 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {key:8s} [{source:10s}] {doc}")
         return 0
 
-    # Install the registry before the scenario is built: components bind
-    # their counters at construction time.
+    # Install the observability layers before the scenario is built:
+    # components bind their counters at construction time (tracer and
+    # journal are fetched at call time, but installing everything up front
+    # keeps one composable lifecycle).
     registry = MetricsRegistry() if args.metrics else None
-    previous = set_registry(registry) if registry else None
+    tracer = Tracer() if args.trace else None
+    journal = Journal(args.journal) if args.journal else None
+    prev_registry = set_registry(registry) if registry else None
+    prev_tracer = set_tracer(tracer) if tracer else None
+    prev_journal = set_journal(journal) if journal else None
     try:
         if args.command == "run":
             result = _scenario(args)
             for key in ("table1", "table3", "fig5", "fig9", "table4"):
                 fn, _ = EXPERIMENTS[key]
                 print()
-                if registry:
-                    with registry.timer(f"experiment.{key}"):
+                with get_tracer().span(f"experiment.{key}"):
+                    if registry:
+                        with registry.timer(f"experiment.{key}"):
+                            rendered = fn(result).render()
+                    else:
                         rendered = fn(result).render()
-                else:
-                    rendered = fn(result).render()
                 print(rendered)
             if registry:
                 _emit_metrics(registry, args.metrics)
+            if tracer:
+                _emit_trace(tracer, args.trace)
             return 0
 
         # experiment
@@ -120,10 +166,18 @@ def main(argv: list[str] | None = None) -> int:
         print(run_all(result, experiment_ids=ids, output_path=args.output))
         if registry:
             _emit_metrics(registry, args.metrics)
+        if tracer:
+            _emit_trace(tracer, args.trace)
         return 0
     finally:
         if registry:
-            set_registry(previous)
+            set_registry(prev_registry)
+        if tracer:
+            set_tracer(prev_tracer)
+        if journal:
+            set_journal(prev_journal)
+            journal.close()
+            print(f"journal written to {args.journal}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -222,6 +222,18 @@ class CausalImpact:
         series (same length; may be (n, k) for several controls), and
         ``intervention_index`` the first post-intervention day.
         """
+        from repro.obs import get_tracer
+
+        with get_tracer().span("analysis.causal_impact",
+                               n=len(y), intervention=intervention_index):
+            return self._run_impl(y, x, intervention_index)
+
+    def _run_impl(
+        self,
+        y: np.ndarray,
+        x: np.ndarray,
+        intervention_index: int,
+    ) -> ImpactResult:
         y = np.asarray(y, dtype=float)
         x = np.asarray(x, dtype=float)
         if x.ndim == 1:

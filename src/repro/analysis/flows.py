@@ -13,7 +13,7 @@ import numpy as np
 
 from repro._util import check_positive
 from repro.analysis.records import PacketRecords
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 
 #: Zeek's default UDP/ICMP inactivity timeout is 60 s; TCP's is longer.  A
 #: single uniform timeout keeps flow semantics simple and matches how the
@@ -62,7 +62,9 @@ def aggregate_flows(
     The per-packet loop is retained as :func:`aggregate_flows_reference`.
     """
     registry = get_registry()
-    with registry.timer("analysis.aggregate_flows"):
+    with registry.timer("analysis.aggregate_flows"), \
+            get_tracer().span("analysis.aggregate_flows",
+                              records=len(records)):
         flows = _aggregate_flows_impl(records, timeout)
     registry.counter("analysis.aggregate_flows.records_in").inc(len(records))
     registry.counter("analysis.aggregate_flows.flows_out").inc(len(flows))

@@ -124,18 +124,25 @@ def overlap_report(
     prefix_length: int = 64,
 ) -> OverlapReport:
     """Compute the §5.1 overlap metrics for one telescope pair."""
-    sources_a = records_a.source_set(prefix_length)
-    sources_b = records_b.source_set(prefix_length)
-    shared = sources_a & sources_b
-    return OverlapReport(
-        name_a=name_a,
-        name_b=name_b,
-        prefix_length=prefix_length,
-        jaccard=jaccard_similarity(sources_a, sources_b),
-        shared_traffic_share_a=_traffic_share(records_a, shared, prefix_length),
-        shared_traffic_share_b=_traffic_share(records_b, shared, prefix_length),
-        shared_dest_share_a=_dest_share(records_a, shared, prefix_length),
-    )
+    from repro.obs import get_tracer
+
+    with get_tracer().span("analysis.overlap_report",
+                           pair=f"{name_a}/{name_b}",
+                           prefix_length=prefix_length):
+        sources_a = records_a.source_set(prefix_length)
+        sources_b = records_b.source_set(prefix_length)
+        shared = sources_a & sources_b
+        return OverlapReport(
+            name_a=name_a,
+            name_b=name_b,
+            prefix_length=prefix_length,
+            jaccard=jaccard_similarity(sources_a, sources_b),
+            shared_traffic_share_a=_traffic_share(records_a, shared,
+                                                  prefix_length),
+            shared_traffic_share_b=_traffic_share(records_b, shared,
+                                                  prefix_length),
+            shared_dest_share_a=_dest_share(records_a, shared, prefix_length),
+        )
 
 
 def jaccard_matrix(

@@ -24,7 +24,7 @@ import numpy as np
 from repro._util import check_positive
 from repro.analysis.records import PacketRecords
 from repro.net.addr import mask_u64, pack_key_u64
-from repro.obs import get_registry
+from repro.obs import get_journal, get_registry, get_tracer
 
 #: Paper's scan definition parameters.
 DEFAULT_MIN_TARGETS = 100
@@ -73,12 +73,63 @@ def detect_scans(
     destinations become :class:`ScanEvent`s.
     """
     registry = get_registry()
-    with registry.timer("analysis.detect_scans"):
+    with registry.timer("analysis.detect_scans"), \
+            get_tracer().span("analysis.detect_scans",
+                              records=len(records),
+                              source_length=source_length):
         events = _detect_scans_impl(records, source_length, min_targets,
                                     timeout)
     registry.counter("analysis.detect_scans.records_in").inc(len(records))
     registry.counter("analysis.detect_scans.events_out").inc(len(events))
+    get_journal().emit(
+        "detection",
+        source_length=source_length, min_targets=min_targets,
+        timeout=timeout, records_in=len(records), events_out=len(events),
+    )
     return events
+
+
+def sessionize(
+    group_change: np.ndarray,
+    t: np.ndarray,
+    dst_hi: np.ndarray,
+    dst_lo: np.ndarray,
+    timeout: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split group-contiguous, time-sorted rows into gap-bounded sessions.
+
+    The shared kernel behind :func:`detect_scans` and the ground-truth
+    session builder (:func:`repro.analysis.groundtruth.truth_events`):
+    callers sort their rows so each source group is one contiguous,
+    time-ordered run and pass ``group_change`` (row ``i+1`` starts a new
+    group).  A new session starts at a group change or a gap strictly
+    exceeding the timeout (a gap exactly equal to the timeout stays
+    in-session).
+
+    Returns ``(starts, packets, start_ts, end_ts, uniq_targets)``, one
+    entry per session, where ``starts`` indexes the session's first row.
+    """
+    n = len(t)
+    new_seg = np.empty(n, dtype=bool)
+    new_seg[0] = True
+    new_seg[1:] = group_change | (t[1:] - t[:-1] > timeout)
+    seg_of = np.cumsum(new_seg) - 1
+    starts = np.flatnonzero(new_seg)
+    n_segs = len(starts)
+    packets = np.diff(starts, append=n)
+    ends = starts + packets - 1
+    start_ts = t[starts]
+    end_ts = t[ends]
+
+    # Unique /128 targets per session: sort by (session, dst) and count
+    # first occurrences.
+    ord2 = np.lexsort((dst_lo, dst_hi, seg_of))
+    s2, h2, l2 = seg_of[ord2], dst_hi[ord2], dst_lo[ord2]
+    first = np.empty(n, dtype=bool)
+    first[0] = True
+    first[1:] = (s2[1:] != s2[:-1]) | (h2[1:] != h2[:-1]) | (l2[1:] != l2[:-1])
+    uniq_targets = np.bincount(s2[first], minlength=n_segs)
+    return starts, packets, start_ts, end_ts, uniq_targets
 
 
 def _detect_scans_impl(
@@ -111,29 +162,10 @@ def _detect_scans_impl(
         src_hi_sorted, src_lo_sorted = h, l
     t = ts[order]
 
-    # A new session starts at a group change or a gap strictly exceeding
-    # the timeout (a gap exactly equal to the timeout stays in-session).
-    new_seg = np.empty(n, dtype=bool)
-    new_seg[0] = True
-    new_seg[1:] = group_change | (t[1:] - t[:-1] > timeout)
-    seg_of = np.cumsum(new_seg) - 1
-    starts = np.flatnonzero(new_seg)
-    n_segs = len(starts)
-    packets = np.diff(starts, append=n)
-    ends = starts + packets - 1
-    start_ts = t[starts]
-    end_ts = t[ends]
-
-    # Unique /128 targets per session: sort by (session, dst) and count
-    # first occurrences.
-    dh = records.dst_hi[order]
-    dl = records.dst_lo[order]
-    ord2 = np.lexsort((dl, dh, seg_of))
-    s2, h2, l2 = seg_of[ord2], dh[ord2], dl[ord2]
-    first = np.empty(n, dtype=bool)
-    first[0] = True
-    first[1:] = (s2[1:] != s2[:-1]) | (h2[1:] != h2[:-1]) | (l2[1:] != l2[:-1])
-    uniq_targets = np.bincount(s2[first], minlength=n_segs)
+    starts, packets, start_ts, end_ts, uniq_targets = sessionize(
+        group_change, t, records.dst_hi[order], records.dst_lo[order],
+        timeout,
+    )
 
     # The truncated source value of each session is its sort key at the
     # segment's first row.

@@ -79,6 +79,18 @@ def label_tactics(
     ``records`` should already be restricted to traffic destined to the
     honeyprefix (use ``records.select(records.mask_dst_in(hp.prefix))``).
     """
+    from repro.obs import get_tracer
+
+    with get_tracer().span("analysis.label_tactics", honeyprefix=hp.name,
+                           records=len(records)):
+        return _label_tactics_impl(records, hp, source_length)
+
+
+def _label_tactics_impl(
+    records: PacketRecords,
+    hp: Honeyprefix,
+    source_length: int,
+) -> TacticReport:
     tls_root_time = hp.feature_time(Feature.TLS_ROOT)
     tls_sub_time = hp.feature_time(Feature.TLS_SUB)
     hitlist_time = hp.feature_time(Feature.HITLIST)

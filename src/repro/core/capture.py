@@ -7,6 +7,14 @@ mirror full packets to a capture file.  The columnar fast path,
 :meth:`PacketCapturer.capture_batch`, appends whole numpy chunks instead of
 scalar fields.  ``to_records()`` freezes both — chunks and scalar tails, in
 arrival order — into :class:`repro.analysis.records.PacketRecords`.
+
+The capturer is also the *provenance boundary*: a batch arriving with the
+ground-truth ``origin`` column (the emitting agent's id) has that column
+stripped from the analysis-facing chunk — a real telescope cannot see who
+sent a packet — and the origin-bearing batch is retained in a sidecar,
+frozen by :meth:`PacketCapturer.to_truth` into
+:class:`repro.analysis.groundtruth.GroundTruthRecords` for detection
+scoring.
 """
 
 from __future__ import annotations
@@ -32,6 +40,9 @@ class PacketCapturer:
         #: Frozen numpy chunks (from ``capture_batch`` and scalar flushes),
         #: in arrival order.
         self._chunks: list[PacketBatch] = []
+        #: Origin-bearing batches retained at the provenance boundary, in
+        #: arrival order (only batches that arrived with ``origin`` set).
+        self._truth_chunks: list[PacketBatch] = []
         self._ts: list[float] = []
         self._src_hi: list[int] = []
         self._src_lo: list[int] = []
@@ -82,12 +93,26 @@ class PacketCapturer:
             return
         self._packet_metric.inc(len(batch))
         self._flush_scalars()
-        self._chunks.append(batch)
+        if batch.origin is not None:
+            self._truth_chunks.append(batch)
+        self._chunks.append(batch.drop_origin())
         if self._writer is not None:
             # Mirroring is inherently per-packet; materialize (slow path,
             # only paid when a capture file was requested).
             for pkt in batch.iter_packets():
                 self._writer.write(pkt)
+
+    def to_truth(self):
+        """Freeze the provenance sidecar into
+        :class:`repro.analysis.groundtruth.GroundTruthRecords`.
+
+        Covers only the rows that arrived with an ``origin`` column (the
+        columnar emission path); scalar captures — honeypot responses and
+        hand-built packets — have no provenance and are not truth rows.
+        """
+        from repro.analysis.groundtruth import GroundTruthRecords
+
+        return GroundTruthRecords.from_batches(self._truth_chunks)
 
     def close(self) -> None:
         if self._writer is not None:

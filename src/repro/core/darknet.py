@@ -17,6 +17,7 @@ from typing import Callable
 from repro.net.addr import IPv6Prefix
 from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
+from repro.obs import get_tracer
 
 
 class DarknetTelescope:
@@ -88,14 +89,16 @@ class DarknetTelescope:
         """
         if len(batch) == 0:
             return
-        dark = batch.mask_dst_in(self.covering_prefix)
-        for assigned in self._assigned:
-            dark &= ~batch.mask_dst_in(assigned)
-        captured = batch.select(dark)
-        self.captured_count += len(captured)
-        self.ignored_count += len(batch) - len(captured)
-        if self._on_batch is not None:
-            self._on_batch(captured)
-        elif self._on_packet is not None:
-            for pkt in captured.iter_packets():
-                self._on_packet(pkt)
+        with get_tracer().span("darknet.handle_batch", telescope=self.name,
+                               packets=len(batch)):
+            dark = batch.mask_dst_in(self.covering_prefix)
+            for assigned in self._assigned:
+                dark &= ~batch.mask_dst_in(assigned)
+            captured = batch.select(dark)
+            self.captured_count += len(captured)
+            self.ignored_count += len(batch) - len(captured)
+            if self._on_batch is not None:
+                self._on_batch(captured)
+            elif self._on_packet is not None:
+                for pkt in captured.iter_packets():
+                    self._on_packet(pkt)

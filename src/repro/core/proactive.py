@@ -42,7 +42,7 @@ from repro.hitlist.service import HitlistService
 from repro.net.addr import IPv6Prefix
 from repro.net.batch import PacketBatch
 from repro.net.packet import ICMPV6, TCP, UDP, Packet
-from repro.obs import get_registry
+from repro.obs import get_journal, get_registry, get_tracer
 from repro.routing.speaker import BgpSpeaker
 from repro.tlsca.acme import AcmeClient
 from repro.tlsca.ca import RateLimitExceeded
@@ -137,6 +137,7 @@ class ProactiveTelescope:
             hp.record(at, Feature.TCP)
         if config.udp_ports or config.tpot:
             hp.record(at, Feature.UDP)
+        get_journal().emit("deploy", name=hp.name, prefix=str(prefix), at=at)
         return hp
 
     def _deploy_bgp(self, hp: Honeyprefix, at: float) -> None:
@@ -275,6 +276,8 @@ class ProactiveTelescope:
         """Retract the honeyprefix's BGP announcement (§5.3.1's experiment)."""
         self.speaker.withdraw(hp.announced_prefix, at=at)
         hp.withdrawn_at = at
+        get_journal().emit("retract", name=hp.name,
+                           prefix=str(hp.announced_prefix), at=at)
 
     # -- data plane --------------------------------------------------------
 
@@ -307,11 +310,15 @@ class ProactiveTelescope:
         if len(batch) == 0:
             return
         registry = get_registry()
-        with registry.timer("telescope.capture"):
+        tracer = get_tracer()
+        with registry.timer("telescope.capture"), \
+                tracer.span("telescope.capture", telescope=self.name,
+                            packets=len(batch)):
             self.capturer.capture_batch(batch)
         if not self._hp_by_48:
             return
-        with registry.timer("telescope.react"):
+        with registry.timer("telescope.react"), \
+                tracer.span("telescope.react", telescope=self.name):
             shift = np.uint64(16)  # /48 keeps 48 of hi's 64 bits
             hi48 = (batch.dst_hi >> shift) << shift
             hp_keys_hi = np.fromiter(

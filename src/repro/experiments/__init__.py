@@ -17,6 +17,7 @@ from repro.experiments.scope import fig9
 from repro.experiments.tactics import fig11
 from repro.experiments.hilbert_map import fig14
 from repro.experiments.configs import table2, table5, table7
+from repro.experiments.groundtruth import groundtruth
 from repro.experiments.retraction import s531_retraction
 from repro.experiments.timeout_sensitivity import footnote1_timeout_sensitivity
 
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "table7": (table7, False),
     "s531": (s531_retraction, True),
     "footnote1": (footnote1_timeout_sensitivity, True),
+    "groundtruth": (groundtruth, True),
 }
 
 __all__ = [
@@ -54,4 +56,5 @@ __all__ = [
     "table2", "table5", "table7",
     "s531_retraction",
     "footnote1_timeout_sensitivity",
+    "groundtruth",
 ]

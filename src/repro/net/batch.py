@@ -31,10 +31,22 @@ _U64 = 0xFFFFFFFFFFFFFFFF
 #: :func:`repro.net.packet.udp_datagram` emission path).
 PROBE_UDP_PAYLOAD = b"\x00\x01"
 
+#: ``origin`` value for rows whose emitting agent is unknown (e.g. a batch
+#: concatenated from parts with and without provenance).
+UNKNOWN_ORIGIN = -1
+
 
 @dataclass(frozen=True)
 class PacketBatch:
-    """An immutable columnar batch of probe packets."""
+    """An immutable columnar batch of probe packets.
+
+    The optional ``origin`` column carries the emitting scanner agent's
+    stable id (int32) — ground-truth provenance the real telescopes could
+    never see.  It rides along through dispatch and honeypot reaction, and
+    is stripped at the capture boundary into a sidecar ground-truth table
+    (:meth:`repro.core.capture.PacketCapturer.capture_batch`), so the
+    analysis-facing records stay exactly what a telescope observes.
+    """
 
     ts: np.ndarray        # float64
     src_hi: np.ndarray    # uint64
@@ -44,6 +56,7 @@ class PacketBatch:
     proto: np.ndarray     # uint8
     sport: np.ndarray     # uint16
     dport: np.ndarray     # uint16
+    origin: np.ndarray | None = None  # int32 agent ids, or absent
 
     def __post_init__(self) -> None:
         n = len(self.ts)
@@ -51,12 +64,14 @@ class PacketBatch:
                      "proto", "sport", "dport"):
             if len(getattr(self, name)) != n:
                 raise ValueError(f"column {name} length mismatch")
+        if self.origin is not None and len(self.origin) != n:
+            raise ValueError("column origin length mismatch")
 
     # -- construction ---------------------------------------------------
 
     @classmethod
     def from_columns(cls, ts, src_hi, src_lo, dst_hi, dst_lo,
-                     proto, sport, dport) -> "PacketBatch":
+                     proto, sport, dport, origin=None) -> "PacketBatch":
         """Build a batch, coercing every column to its canonical dtype."""
         return cls(
             ts=np.asarray(ts, dtype=np.float64),
@@ -67,6 +82,8 @@ class PacketBatch:
             proto=np.asarray(proto, dtype=np.uint8),
             sport=np.asarray(sport, dtype=np.uint16),
             dport=np.asarray(dport, dtype=np.uint16),
+            origin=(None if origin is None
+                    else np.asarray(origin, dtype=np.int32)),
         )
 
     @classmethod
@@ -93,6 +110,16 @@ class PacketBatch:
             return cls.empty()
         if len(parts) == 1:
             return parts[0]
+        if any(p.origin is not None for p in parts):
+            # Provenance survives concatenation; parts lacking it get
+            # UNKNOWN_ORIGIN rather than silently dropping the column.
+            origin = np.concatenate([
+                p.origin if p.origin is not None
+                else np.full(len(p), UNKNOWN_ORIGIN, dtype=np.int32)
+                for p in parts
+            ])
+        else:
+            origin = None
         return cls(
             ts=np.concatenate([p.ts for p in parts]),
             src_hi=np.concatenate([p.src_hi for p in parts]),
@@ -102,6 +129,7 @@ class PacketBatch:
             proto=np.concatenate([p.proto for p in parts]),
             sport=np.concatenate([p.sport for p in parts]),
             dport=np.concatenate([p.dport for p in parts]),
+            origin=origin,
         )
 
     # -- basics ----------------------------------------------------------
@@ -118,6 +146,28 @@ class PacketBatch:
             dst_hi=self.dst_hi[mask], dst_lo=self.dst_lo[mask],
             proto=self.proto[mask], sport=self.sport[mask],
             dport=self.dport[mask],
+            origin=None if self.origin is None else self.origin[mask],
+        )
+
+    # -- provenance -------------------------------------------------------
+
+    def with_origin(self, agent_id: int) -> "PacketBatch":
+        """A copy of this batch stamped with one emitting agent's id."""
+        return PacketBatch(
+            ts=self.ts, src_hi=self.src_hi, src_lo=self.src_lo,
+            dst_hi=self.dst_hi, dst_lo=self.dst_lo, proto=self.proto,
+            sport=self.sport, dport=self.dport,
+            origin=np.full(len(self), agent_id, dtype=np.int32),
+        )
+
+    def drop_origin(self) -> "PacketBatch":
+        """This batch without provenance (what a real telescope sees)."""
+        if self.origin is None:
+            return self
+        return PacketBatch(
+            ts=self.ts, src_hi=self.src_hi, src_lo=self.src_lo,
+            dst_hi=self.dst_hi, dst_lo=self.dst_lo, proto=self.proto,
+            sport=self.sport, dport=self.dport,
         )
 
     # -- masks -----------------------------------------------------------

@@ -1,12 +1,40 @@
 """Lightweight observability for the telescope pipeline.
 
-The registry is process-wide and disabled by default: until something calls
-:func:`set_registry` (or the CLI's ``--metrics`` flag does it), every
-component holds no-op null metrics and the instrumented hot paths cost one
-no-op method call per event.  Enable metrics *before* constructing the
-scenario — components bind their counters at construction time.
+Three cooperating layers, each process-wide and disabled by default:
+
+* **metrics** (:mod:`repro.obs.registry`) — counters, gauges, histograms,
+  stage timings.  Components bind their metric objects at construction
+  time, so enable metrics *before* building the scenario.
+* **tracing** (:mod:`repro.obs.trace`) — nested spans with attributes,
+  exportable as Chrome/Perfetto trace-event JSON plus a self-time table.
+  Instrumented code fetches the tracer at call time, so a tracer can be
+  installed at any point.
+* **journal** (:mod:`repro.obs.journal`) — an append-only JSONL record of
+  the run's consequential events (manifest, per-day progress, session and
+  honeyprefix lifecycle, detection summaries), making two runs diffable
+  from artifacts alone.
+
+Until something calls the ``set_*`` installers (or the CLI's
+``--metrics``/``--trace``/``--journal`` flags do), every layer is a shared
+no-op null object and the instrumented hot paths cost one no-op method
+call per event.
 """
 
+from repro.obs.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    Journal,
+    JournalError,
+    NULL_JOURNAL,
+    NullJournal,
+    RECORD_SCHEMAS,
+    RunManifest,
+    config_hash,
+    get_journal,
+    load_manifest,
+    read_journal,
+    set_journal,
+    use_journal,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -20,18 +48,49 @@ from repro.obs.registry import (
     use_registry,
 )
 from repro.obs.timer import NULL_TIMER, StageTimer
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JOURNAL_SCHEMA_VERSION",
+    "Journal",
+    "JournalError",
     "MetricsRegistry",
-    "NullRegistry",
+    "NULL_JOURNAL",
     "NULL_REGISTRY",
+    "NULL_SPAN",
     "NULL_TIMER",
+    "NULL_TRACER",
+    "NullJournal",
+    "NullRegistry",
+    "NullTracer",
+    "RECORD_SCHEMAS",
+    "RunManifest",
+    "Span",
     "StageTimer",
     "Timing",
+    "Tracer",
+    "config_hash",
+    "get_journal",
     "get_registry",
+    "get_tracer",
+    "load_manifest",
+    "read_journal",
+    "set_journal",
     "set_registry",
+    "set_tracer",
+    "use_journal",
     "use_registry",
+    "use_tracer",
 ]

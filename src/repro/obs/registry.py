@@ -137,7 +137,7 @@ class Histogram:
 class Timing:
     """Accumulated wall-clock seconds of one named stage."""
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "active")
 
     def __init__(self, name: str):
         self.name = name
@@ -145,6 +145,10 @@ class Timing:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: Live same-name timers (maintained by :class:`StageTimer`): a
+        #: nested span of the same stage must not add its elapsed time on
+        #: top of the enclosing span's — the outer one already covers it.
+        self.active = 0
 
     def observe(self, seconds: float) -> None:
         self.count += 1
@@ -205,10 +209,13 @@ class _NullHistogram:
 
 
 class _NullTiming:
-    __slots__ = ()
+    __slots__ = ("active",)
     name = "null"
     count = 0
     total = 0.0
+
+    def __init__(self):
+        self.active = 0
 
     def observe(self, seconds: float) -> None:
         pass

@@ -14,25 +14,34 @@ class StageTimer:
 
     Registries return a fresh instance per :meth:`~MetricsRegistry.timer`
     call, so timers for the same stage name nest without clobbering each
-    other's start times.
+    other's start times.  A timer entered while another timer of the *same*
+    timing is live records nothing on exit: the enclosing span's elapsed
+    time already covers the inner one, and observing both would attribute
+    the inner wall clock twice to the same stage label.
     """
 
-    __slots__ = ("_timing", "_start")
+    __slots__ = ("_timing", "_start", "_nested")
 
     def __init__(self, timing):
         self._timing = timing
         self._start = 0.0
+        self._nested = False
 
     @property
     def stage(self) -> str:
         return self._timing.name
 
     def __enter__(self) -> "StageTimer":
+        self._nested = self._timing.active > 0
+        self._timing.active += 1
         self._start = perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._timing.observe(perf_counter() - self._start)
+        elapsed = perf_counter() - self._start
+        self._timing.active -= 1
+        if not self._nested:
+            self._timing.observe(elapsed)
 
 
 class _NullTimer:

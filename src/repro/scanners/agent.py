@@ -28,6 +28,7 @@ from repro.net.packet import (
     tcp_segment,
     udp_datagram,
 )
+from repro.obs import get_journal, get_tracer
 from repro.obs.registry import get_registry
 from repro.scanners.identity import ScannerIdentity, SourceAllocator
 from repro.scanners.strategies import (
@@ -94,18 +95,27 @@ class ScannerAgent:
         self.sessions: list[ScanSession] = []
         self.packets_emitted = 0
         self.sessions_dropped = 0
+        #: Stable per-scenario id for ground-truth provenance; assigned by
+        #: the scenario at build time (< 0: anonymous, batches unstamped).
+        self.agent_id = -1
         self._m_dropped = get_registry().counter("agent.sessions.dropped")
 
     # -- feeds ------------------------------------------------------------
 
     def poll_feeds(self, since: float, until: float) -> int:
         """Poll every strategy; returns the number of new sessions."""
+        journal = get_journal()
         new = 0
         for strategy in self.strategies:
             for batch in strategy.poll(since, until, self._rng):
                 if len(self.sessions) >= self.max_sessions:
                     self.sessions_dropped += 1
                     self._m_dropped.inc()
+                    journal.emit(
+                        "session_drop",
+                        agent=self.agent_id, asn=self.identity.asn,
+                        at=batch.start,
+                    )
                     continue
                 # Trigger-driven batches get a worker slice of the pool;
                 # long-running background scans rotate the whole pool.
@@ -117,6 +127,11 @@ class ScannerAgent:
                 self.sessions.append(ScanSession(
                     batch, sources=slice_sources
                 ))
+                journal.emit(
+                    "session_start",
+                    agent=self.agent_id, asn=self.identity.asn,
+                    trigger=batch.trigger, at=batch.start,
+                )
                 new += 1
         return new
 
@@ -129,6 +144,11 @@ class ScannerAgent:
                 subject == prefix or prefix.contains_prefix(subject)
             ):
                 session.batch.cancel(at)
+                get_journal().emit(
+                    "session_cancel",
+                    agent=self.agent_id, asn=self.identity.asn,
+                    prefix=str(prefix), at=at,
+                )
                 n += 1
         return n
 
@@ -237,6 +257,16 @@ class ScannerAgent:
         """
         self.allocator.new_session()
         plans, pkt_rng = self._day_plan(day_start, day_end)
+        span = get_tracer().span("agent.emit_day_batch",
+                                 agent=self.agent_id,
+                                 asn=self.identity.asn,
+                                 sessions=len(plans))
+        with span:
+            batch = self._emit_plans(plans, pkt_rng, day_end)
+        span.set(packets=len(batch))
+        return batch
+
+    def _emit_plans(self, plans, pkt_rng, day_end: float) -> PacketBatch:
         parts: list[PacketBatch] = []
         emitted = 0
         for session, n, lo, hi in plans:
@@ -267,4 +297,7 @@ class ScannerAgent:
             emitted += m
         self._retire_sessions(day_end)
         self.packets_emitted += emitted
-        return PacketBatch.concat(parts)
+        batch = PacketBatch.concat(parts)
+        if self.agent_id >= 0:
+            batch = batch.with_origin(self.agent_id)
+        return batch

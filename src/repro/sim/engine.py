@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable
 
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import MetricsRegistry, get_registry, get_tracer
 
 
 @dataclass(order=True)
@@ -92,11 +92,14 @@ class Engine:
 
     def run_until(self, end_time: float) -> int:
         """Run all events with time <= end_time; returns the count run."""
-        n = 0
-        while self._queue and self._queue[0].time <= end_time:
-            self.step()
-            n += 1
-        self.now = max(self.now, end_time)
+        span = get_tracer().span("engine.run_until", until=end_time)
+        with span:
+            n = 0
+            while self._queue and self._queue[0].time <= end_time:
+                self.step()
+                n += 1
+            self.now = max(self.now, end_time)
+        span.set(events=n)
         return n
 
     def run(self) -> int:

@@ -12,7 +12,7 @@ from repro.analysis.asinfo import MetadataJoiner
 from repro.analysis.records import PacketRecords
 from repro.core.honeyprefix import Honeyprefix
 from repro.net.addr import IPv6Prefix
-from repro.obs import get_registry
+from repro.obs import RunManifest, get_journal, get_registry, get_tracer
 from repro.sim.scenario import PaperScenario, ScenarioConfig
 
 #: A /48-truncated address has its low 80 bits zeroed; prefixes whose
@@ -31,6 +31,11 @@ class ScenarioResult:
     #: Metrics snapshot taken right after the run (empty when metrics are
     #: disabled) — experiments join their own numbers against it.
     telemetry: dict = field(default_factory=dict)
+    #: Per-telescope ground-truth provenance sidecars
+    #: (:class:`repro.analysis.groundtruth.GroundTruthRecords`): which agent
+    #: emitted each captured packet — data a real telescope never has, kept
+    #: out of the analysis-facing records and used only for scoring.
+    truth: dict = field(default_factory=dict)
 
     @property
     def config(self) -> ScenarioConfig:
@@ -110,6 +115,12 @@ class ScenarioResult:
     def telescopes(self) -> dict[str, PacketRecords]:
         return {"NT-A": self.nta, "NT-B": self.ntb, "NT-C": self.ntc}
 
+    def truth_combined(self):
+        """All telescopes' ground-truth sidecars as one table."""
+        from repro.analysis.groundtruth import GroundTruthRecords
+
+        return GroundTruthRecords.concat(list(self.truth.values()))
+
 
 def run_scenario(
     config: ScenarioConfig | None = None, progress: bool = False
@@ -117,22 +128,40 @@ def run_scenario(
     """Build, run, and bundle one full scenario.
 
     Each stage (world construction, the day loop, freezing the captures)
-    is timed into the active metrics registry, and the resulting snapshot
-    rides along as :attr:`ScenarioResult.telemetry`.
+    is timed into the active metrics registry and wrapped in a trace span
+    under one ``run_scenario`` root, and the resulting metrics snapshot
+    rides along as :attr:`ScenarioResult.telemetry`.  When a journal is
+    active, the run opens with its ``run_manifest`` (config hash + seed +
+    package version) and closes with a ``run_end`` summary.
     """
+    config = config if config is not None else ScenarioConfig()
     registry = get_registry()
-    with registry.timer("scenario.build"):
-        scenario = PaperScenario(config)
-    with registry.timer("scenario.run"):
-        scenario.run(progress=progress)
-    with registry.timer("scenario.freeze"):
-        nta = scenario.telescope.capturer.to_records()
-        ntb = scenario.ntb_capturer.to_records()
-        ntc = scenario.ntc_capturer.to_records()
+    tracer = get_tracer()
+    journal = get_journal()
+    with tracer.span("run_scenario", days=config.duration_days,
+                     seed=config.seed):
+        journal.emit("run_manifest",
+                     **RunManifest.from_config(config).to_record_fields())
+        with registry.timer("scenario.build"), tracer.span("scenario.build"):
+            scenario = PaperScenario(config)
+        with registry.timer("scenario.run"), tracer.span("scenario.run"):
+            scenario.run(progress=progress)
+        with registry.timer("scenario.freeze"), tracer.span("scenario.freeze"):
+            nta = scenario.telescope.capturer.to_records()
+            ntb = scenario.ntb_capturer.to_records()
+            ntc = scenario.ntc_capturer.to_records()
+            truth = {
+                "NT-A": scenario.telescope.capturer.to_truth(),
+                "NT-B": scenario.ntb_capturer.to_truth(),
+                "NT-C": scenario.ntc_capturer.to_truth(),
+            }
+        journal.emit("run_end", days=config.duration_days,
+                     packets=len(nta) + len(ntb) + len(ntc))
     registry.gauge("scenario.records.nta").set(len(nta))
     registry.gauge("scenario.records.ntb").set(len(ntb))
     registry.gauge("scenario.records.ntc").set(len(ntc))
     return ScenarioResult(
         scenario=scenario, nta=nta, ntb=ntb, ntc=ntc,
         telemetry=registry.snapshot() if registry.enabled else {},
+        truth=truth,
     )

@@ -24,7 +24,7 @@ from repro.datasets.asdb import AsCategory, AsRecord
 from repro.net.addr import IPv6Prefix
 from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
-from repro.obs import get_registry
+from repro.obs import get_journal, get_registry, get_tracer
 from repro.routing.speaker import BgpSpeaker
 from repro.scanners.agent import ScannerAgent
 from repro.scanners.identity import AllocationMode, ScannerIdentity
@@ -179,6 +179,12 @@ class PaperScenario:
         self._placed: set[int] = set()
         self._schedule_deployments()
         self._schedule_hitlist_cycles()
+
+        # Stable ground-truth agent ids: build order is deterministic under
+        # a fixed seed, so enumeration order is too.  Assigned once the
+        # population is final (ambient and local agents included).
+        for i, agent in enumerate(self.agents):
+            agent.agent_id = i
 
         self._last_poll = 0.0
 
@@ -481,6 +487,11 @@ class PaperScenario:
         """
         if len(batch) == 0:
             return
+        with get_tracer().span("scenario.dispatch_batch",
+                               packets=len(batch)):
+            self._dispatch_batch_impl(batch)
+
+    def _dispatch_batch_impl(self, batch: PacketBatch) -> None:
         nta = batch.mask_dst_in(self.nta_covering)
         shift = np.uint64(16)
         hi48 = (batch.dst_hi >> shift) << shift
@@ -504,6 +515,14 @@ class PaperScenario:
 
     def run_day(self, day: int) -> int:
         """Simulate day ``day``; returns the number of packets dispatched."""
+        span = get_tracer().span("scenario.run_day", day=day)
+        with span:
+            emitted = self._run_day_impl(day)
+        span.set(emitted=emitted)
+        get_journal().emit("day", day=day, emitted=emitted)
+        return emitted
+
+    def _run_day_impl(self, day: int) -> int:
         day_start = day * DAY
         day_end = (day + 1) * DAY
         # A no-op day-boundary tick: keeps the engine's event-loop profile

@@ -1,0 +1,261 @@
+"""Tests for ground-truth provenance and detection scoring.
+
+The pinned-value tests build a tiny, fully hand-checkable scanner
+population: three agents whose behavior separates the three aggregation
+levels — a source-rotating agent invisible at /128, a single-address agent
+visible everywhere, and a /48-cohabiting agent that merges at /48.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.groundtruth import (
+    GroundTruthRecords,
+    score_all_levels,
+    score_detection,
+    truth_events,
+)
+from repro.analysis.records import PacketRecords
+from repro.analysis.scandetect import detect_scans
+from repro.net.batch import PacketBatch, UNKNOWN_ORIGIN
+
+HI_A = 0x20010DB8_00000000  # 2001:db8:0:0::/64 — agent 0 (rotates /128s)
+HI_B = 0x20010DB9_00000000  # 2001:db9::/64     — agent 1 (one address)
+HI_C = 0x20010DB8_00000001  # 2001:db8:0:1::/64 — agent 2 (shares A's /48)
+DST_HI = 0x2403E800_00000000
+
+
+def _toy_population():
+    """Three agents, one second between probes, all gaps << timeout.
+
+    * agent 0: 300 probes from 100 rotating /128s (3 targets each) in HI_A;
+    * agent 1: 150 probes from one address in HI_B;
+    * agent 2: 120 probes from one address in HI_C (same /48 as HI_A).
+    """
+    rows = []  # (ts, src_hi, src_lo, dst_lo, origin)
+    for i in range(300):
+        rows.append((0.5 + i, HI_A, i // 3, i, 0))
+    for i in range(150):
+        rows.append((0.3 + i, HI_B, 1, 10_000 + i, 1))
+    for i in range(120):
+        rows.append((0.7 + i, HI_C, 1, 20_000 + i, 2))
+    ts, src_hi, src_lo, dst_lo, origin = map(np.asarray, zip(*rows))
+    records = PacketRecords.from_columns(
+        ts=ts, src_hi=src_hi, src_lo=src_lo,
+        dst_hi=np.full(len(ts), DST_HI, dtype=np.uint64), dst_lo=dst_lo,
+        proto=np.full(len(ts), 6), sport=np.full(len(ts), 40_000),
+        dport=np.full(len(ts), 443),
+    )
+    truth = GroundTruthRecords.from_columns(
+        ts=ts, src_hi=src_hi, src_lo=src_lo,
+        dst_hi=np.full(len(ts), DST_HI, dtype=np.uint64), dst_lo=dst_lo,
+        origin=origin,
+    )
+    return records, truth
+
+
+class TestTruthEvents:
+    def test_pinned_truth_events(self):
+        _, truth = _toy_population()
+        events = truth_events(truth)
+        assert [(e.agent, e.packets, e.unique_targets) for e in events] == [
+            (1, 150, 150), (0, 300, 300), (2, 120, 120),
+        ]
+        by_agent = {e.agent: e for e in events}
+        assert by_agent[0].start == pytest.approx(0.5)
+        assert by_agent[0].end == pytest.approx(299.5)
+
+    def test_min_targets_filters(self):
+        _, truth = _toy_population()
+        assert len(truth_events(truth, min_targets=200)) == 1  # agent 0 only
+
+    def test_timeout_splits_sessions(self):
+        truth = GroundTruthRecords.from_columns(
+            ts=[0.0, 1.0, 5000.0, 5001.0],
+            src_hi=[HI_A] * 4, src_lo=[1] * 4,
+            dst_hi=[DST_HI] * 4, dst_lo=[1, 2, 3, 4],
+            origin=[0] * 4,
+        )
+        events = truth_events(truth, min_targets=2, timeout=3600.0)
+        assert [(e.start, e.end) for e in events] == [
+            (0.0, 1.0), (5000.0, 5001.0),
+        ]
+
+    def test_unknown_origin_excluded(self):
+        truth = GroundTruthRecords.from_columns(
+            ts=[0.0, 1.0], src_hi=[HI_A] * 2, src_lo=[1] * 2,
+            dst_hi=[DST_HI] * 2, dst_lo=[1, 2],
+            origin=[UNKNOWN_ORIGIN] * 2,
+        )
+        assert truth_events(truth, min_targets=1) == []
+        assert truth.agents().size == 0
+
+
+class TestPinnedScores:
+    """Exact precision/recall at /128, /64, /48 on the toy population."""
+
+    @pytest.fixture(scope="class")
+    def scores(self):
+        records, truth = _toy_population()
+        return score_all_levels(records, truth)
+
+    def test_slash128(self, scores):
+        s = scores[128]
+        # Agent 0's rotation defeats per-address detection: only agents 1
+        # and 2 are found, both pure, so recall loses exactly agent 0.
+        assert s.n_events == 2
+        assert s.n_truth_events == 3
+        assert s.precision == pytest.approx(1.0)
+        assert s.recall == pytest.approx(2 / 3)
+        assert s.fragmentation == pytest.approx(1.0)
+        assert s.merge_rate == pytest.approx(0.0)
+
+    def test_slash64(self, scores):
+        s = scores[64]
+        # /64 aggregation reunites agent 0's rotating addresses.
+        assert s.n_events == 3
+        assert s.precision == pytest.approx(1.0)
+        assert s.recall == pytest.approx(1.0)
+        assert s.fragmentation == pytest.approx(1.0)
+        assert s.merge_rate == pytest.approx(0.0)
+
+    def test_slash48(self, scores):
+        s = scores[48]
+        # Agents 0 and 2 share a /48: their sessions merge into one impure
+        # event, halving precision while recall stays perfect.
+        assert s.n_events == 2
+        assert s.precision == pytest.approx(0.5)
+        assert s.recall == pytest.approx(1.0)
+        assert s.merge_rate == pytest.approx(0.5)
+        assert s.fragmentation == pytest.approx(1.0)
+
+    def test_n_agents(self, scores):
+        assert all(s.n_agents == 3 for s in scores.values())
+
+
+class TestScoreDetectionEdges:
+    def test_fragmentation_counts_split_events(self):
+        """One agent scanning from two /64s at once: one truth event,
+        two detected events at /64 — fragmentation 2."""
+        rows = []
+        for i in range(120):
+            rows.append((0.5 + i, HI_A, 1, i, 7))
+            rows.append((0.6 + i, HI_C, 1, 1000 + i, 7))
+        ts, src_hi, src_lo, dst_lo, origin = map(np.asarray, zip(*rows))
+        records = PacketRecords.from_columns(
+            ts=ts, src_hi=src_hi, src_lo=src_lo,
+            dst_hi=np.full(len(ts), DST_HI, dtype=np.uint64), dst_lo=dst_lo,
+            proto=np.full(len(ts), 6), sport=np.full(len(ts), 1),
+            dport=np.full(len(ts), 2),
+        )
+        truth = GroundTruthRecords.from_columns(
+            ts=ts, src_hi=src_hi, src_lo=src_lo,
+            dst_hi=np.full(len(ts), DST_HI, dtype=np.uint64), dst_lo=dst_lo,
+            origin=origin,
+        )
+        events = detect_scans(records, source_length=64)
+        assert len(events) == 2
+        score = score_detection(events, truth)
+        assert score.n_truth_events == 1
+        assert score.recall == pytest.approx(1.0)
+        assert score.fragmentation == pytest.approx(2.0)
+        assert score.precision == pytest.approx(1.0)
+
+    def test_empty_everything(self):
+        score = score_detection([], GroundTruthRecords.empty(),
+                                source_length=64)
+        assert score.source_length == 64
+        assert score.n_events == 0
+        assert score.n_truth_events == 0
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_mixed_levels_rejected(self):
+        records, truth = _toy_population()
+        events = (detect_scans(records, source_length=64)
+                  + detect_scans(records, source_length=48))
+        with pytest.raises(ValueError, match="mix aggregation levels"):
+            score_detection(events, truth)
+
+    def test_explicit_level_must_match(self):
+        records, truth = _toy_population()
+        events = detect_scans(records, source_length=64)
+        with pytest.raises(ValueError, match="aggregated at /64"):
+            score_detection(events, truth, source_length=48)
+
+
+class TestGroundTruthRecords:
+    def test_from_batches_requires_origin(self):
+        batch = PacketBatch.from_columns(
+            [0.0], [HI_A], [1], [DST_HI], [1], [6], [1], [2],
+        )
+        with pytest.raises(ValueError, match="origin"):
+            GroundTruthRecords.from_batches([batch])
+
+    def test_from_batches_concat_order(self):
+        b1 = PacketBatch.from_columns(
+            [0.0], [HI_A], [1], [DST_HI], [1], [6], [1], [2],
+        ).with_origin(3)
+        b2 = PacketBatch.from_columns(
+            [1.0], [HI_B], [1], [DST_HI], [2], [6], [1], [2],
+        ).with_origin(4)
+        truth = GroundTruthRecords.from_batches([b1, b2])
+        assert len(truth) == 2
+        assert truth.origin.tolist() == [3, 4]
+        assert truth.agents().tolist() == [3, 4]
+
+    def test_concat_and_empty(self):
+        _, truth = _toy_population()
+        combined = GroundTruthRecords.concat(
+            [truth, GroundTruthRecords.empty()]
+        )
+        assert len(combined) == len(truth)
+        assert len(GroundTruthRecords.concat([])) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="origin"):
+            GroundTruthRecords.from_columns(
+                [0.0], [HI_A], [1], [DST_HI], [1], [0, 1],
+            )
+
+
+class TestProvenanceBoundary:
+    def test_capture_strips_origin_keeps_sidecar(self):
+        from repro.core.capture import PacketCapturer
+
+        capturer = PacketCapturer("t")
+        batch = PacketBatch.from_columns(
+            [0.0, 1.0], [HI_A] * 2, [1, 2], [DST_HI] * 2, [1, 2],
+            [6] * 2, [1] * 2, [2] * 2,
+        ).with_origin(9)
+        capturer.capture_batch(batch)
+        records = capturer.to_records()
+        truth = capturer.to_truth()
+        assert len(records) == 2 and len(truth) == 2
+        assert truth.origin.tolist() == [9, 9]
+        # Analysis-facing records carry no provenance column at all.
+        assert not hasattr(records, "origin") or records.origin is None
+
+    def test_unstamped_batches_produce_no_truth(self):
+        from repro.core.capture import PacketCapturer
+
+        capturer = PacketCapturer("t")
+        capturer.capture_batch(PacketBatch.from_columns(
+            [0.0], [HI_A], [1], [DST_HI], [1], [6], [1], [2],
+        ))
+        assert len(capturer.to_records()) == 1
+        assert len(capturer.to_truth()) == 0
+
+    def test_batch_origin_ops(self):
+        batch = PacketBatch.from_columns(
+            [0.0, 1.0], [HI_A] * 2, [1, 2], [DST_HI] * 2, [1, 2],
+            [6] * 2, [1] * 2, [2] * 2,
+        )
+        stamped = batch.with_origin(5)
+        assert stamped.origin.tolist() == [5, 5]
+        assert stamped.drop_origin().origin is None
+        assert batch.drop_origin() is batch
+        sub = stamped.select(np.array([True, False]))
+        assert sub.origin.tolist() == [5]
+        mixed = PacketBatch.concat([stamped, batch])
+        assert mixed.origin.tolist() == [5, 5, UNKNOWN_ORIGIN, UNKNOWN_ORIGIN]

@@ -16,6 +16,7 @@ from repro.experiments import (
     fig11,
     fig13,
     fig14,
+    groundtruth,
     s51_overlap,
     s531_retraction,
     table1,
@@ -29,7 +30,7 @@ from repro.experiments import (
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENTS) == 21
+        assert len(EXPERIMENTS) == 22
         for key, (fn, needs_result) in EXPERIMENTS.items():
             assert callable(fn)
 
@@ -166,3 +167,17 @@ class TestScenarioExperiments:
         result = s531_retraction(small_result)
         assert result.suppression > 0.8
         assert "suppressed" in result.render()
+
+    def test_groundtruth_scores(self, small_result):
+        result = groundtruth(small_result)
+        assert set(result.scores) == {"NT-A", "NT-B", "NT-C"}
+        assert result.truth_rows["NT-A"] > 0
+        nta = result.scores["NT-A"]
+        assert set(nta) == {128, 64, 48}
+        assert [nta[n].source_length for n in (128, 64, 48)] == [128, 64, 48]
+        # Aggregating sources reunites rotating scanners: /64 recall must
+        # be at least as good as per-address /128 recall (the paper's
+        # motivation for source aggregation).
+        assert nta[64].recall >= nta[128].recall
+        assert all(0.0 <= nta[n].precision <= 1.0 for n in nta)
+        assert "Ground truth" in result.render()

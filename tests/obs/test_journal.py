@@ -1,0 +1,182 @@
+"""Tests for repro.obs.journal: round trips, schema versioning, crash
+tolerance, the null journal."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JOURNAL_SCHEMA_VERSION,
+    Journal,
+    JournalError,
+    NULL_JOURNAL,
+    RunManifest,
+    config_hash,
+    get_journal,
+    load_manifest,
+    read_journal,
+    set_journal,
+    use_journal,
+)
+from repro.sim import ScenarioConfig
+
+
+def _write_run(path, config):
+    journal = Journal(str(path))
+    journal.emit("run_manifest",
+                 **RunManifest.from_config(config).to_record_fields())
+    journal.emit("day", day=0, emitted=123)
+    journal.emit("session_start", agent=4, asn=64500, trigger="bgp",
+                 at=86_400.0)
+    journal.emit("deploy", name="H_TCP", prefix="2403:e800:8000::/48",
+                 at=86_400.0)
+    journal.emit("retract", name="H_TCP", prefix="2403:e800:8000::/48",
+                 at=172_800.0)
+    journal.emit("detection", source_length=64, min_targets=100,
+                 timeout=3600.0, records_in=10, events_out=2)
+    journal.emit("run_end", days=1, packets=123)
+    journal.close()
+    return journal
+
+
+class TestRoundTrip:
+    def test_write_read_manifest_equality(self, tmp_path):
+        """write → read → RunManifest equality (the provenance contract)."""
+        path = tmp_path / "journal.jsonl"
+        config = ScenarioConfig(seed=42, duration_days=7)
+        _write_run(path, config)
+        records = read_journal(path)
+        assert [r["type"] for r in records] == [
+            "run_manifest", "day", "session_start", "deploy", "retract",
+            "detection", "run_end",
+        ]
+        assert all(r["v"] == JOURNAL_SCHEMA_VERSION for r in records)
+        assert load_manifest(path) == RunManifest.from_config(config)
+
+    def test_config_hash_stable_and_sensitive(self):
+        a = ScenarioConfig(seed=1)
+        assert config_hash(a) == config_hash(ScenarioConfig(seed=1))
+        assert config_hash(a) != config_hash(ScenarioConfig(seed=2))
+
+    def test_records_written_counter(self, tmp_path):
+        journal = _write_run(tmp_path / "j.jsonl", ScenarioConfig())
+        assert journal.records_written == 7
+
+    def test_lines_are_sorted_key_json(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(str(path))
+        journal.emit("day", emitted=1, day=0)
+        journal.close()
+        line = path.read_text().splitlines()[0]
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+
+class TestValidation:
+    def test_unknown_record_type_rejected_on_write(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        with pytest.raises(JournalError, match="unknown journal record"):
+            journal.emit("not_a_type", foo=1)
+        journal.close()
+
+    def test_missing_fields_rejected_on_write(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        with pytest.raises(JournalError, match="missing fields"):
+            journal.emit("day", day=0)  # no 'emitted'
+        journal.close()
+
+    def test_unknown_record_type_rejected_on_read(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps(
+            {"v": JOURNAL_SCHEMA_VERSION, "type": "mystery"}) + "\n")
+        with pytest.raises(JournalError, match="unknown journal record"):
+            read_journal(path)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps(
+            {"v": JOURNAL_SCHEMA_VERSION + 1, "type": "day",
+             "day": 0, "emitted": 1}) + "\n")
+        with pytest.raises(JournalError, match="schema version"):
+            read_journal(path)
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        """A process dying mid-write tears at most the last record; the
+        reader must keep everything before it."""
+        path = tmp_path / "j.jsonl"
+        _write_run(path, ScenarioConfig())
+        with open(path, "a") as stream:
+            stream.write('{"v": 1, "type": "day", "day": 1, "emi')
+        records = read_journal(path)
+        assert len(records) == 7
+        assert records[-1]["type"] == "run_end"
+
+    def test_torn_middle_line_is_an_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [
+            '{"v": 1, "type": "day", "day": 0, "emitted": 1}',
+            '{"v": 1, "type": "day", "day":',
+            '{"v": 1, "type": "day", "day": 2, "emitted": 3}',
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="line 2"):
+            read_journal(path)
+
+    def test_no_manifest_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"v": 1, "type": "day", "day": 0, "emitted": 1}\n')
+        with pytest.raises(JournalError, match="no run_manifest"):
+            load_manifest(path)
+
+
+class TestActiveJournal:
+    def test_default_is_null(self):
+        assert get_journal() is NULL_JOURNAL
+
+    def test_null_journal_emit_is_free(self):
+        NULL_JOURNAL.emit("anything_at_all", totally="unchecked")
+        assert NULL_JOURNAL.records_written == 0
+
+    def test_set_and_restore(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        previous = set_journal(journal)
+        try:
+            assert get_journal() is journal
+        finally:
+            set_journal(previous)
+            journal.close()
+        assert get_journal() is NULL_JOURNAL
+
+    def test_use_journal_scoped(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        with use_journal(journal) as active:
+            assert active is journal
+        assert get_journal() is NULL_JOURNAL
+        journal.close()
+
+    def test_instrumented_code_emits(self, tmp_path):
+        """detect_scans writes a detection summary to the active journal."""
+        from repro.analysis.records import PacketRecords
+        from repro.analysis.scandetect import detect_scans
+
+        path = tmp_path / "j.jsonl"
+        journal = Journal(str(path))
+        with use_journal(journal):
+            detect_scans(PacketRecords.empty(), source_length=48)
+        journal.close()
+        (record,) = read_journal(path)
+        assert record["type"] == "detection"
+        assert record["source_length"] == 48
+        assert record["records_in"] == 0
+
+    def test_stream_journal(self):
+        import io
+
+        stream = io.StringIO()
+        journal = Journal(stream)
+        journal.emit("day", day=0, emitted=5)
+        journal.close()
+        assert json.loads(stream.getvalue())["day"] == 0
+        assert not stream.closed  # caller owns the stream

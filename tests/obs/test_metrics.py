@@ -193,18 +193,47 @@ class TestTimers:
         assert registry.timing("inner").total >= 0.005
 
     def test_nested_same_name(self):
-        """timer() hands out a fresh StageTimer per call, so two live
-        timers of the same name must not clobber each other's start."""
+        """A same-name timer nested inside a live one records nothing: the
+        outer timer's elapsed already covers it, so double-counting would
+        overstate the stage's total."""
         registry = MetricsRegistry()
         with registry.timer("stage"):
             time.sleep(0.005)
             with registry.timer("stage"):
-                pass
+                time.sleep(0.002)
         stats = registry.timing("stage")
-        assert stats.count == 2
-        assert stats.max >= 0.005
-        assert stats.min < stats.max
-        assert stats.total == pytest.approx(stats.min + stats.max)
+        assert stats.count == 1
+        assert stats.total >= 0.007
+        assert stats.active == 0
+
+    def test_nested_same_name_no_double_count(self):
+        """Regression: the nested span's time must not be added on top of
+        the outer span's — total stays below the sum of both elapsed."""
+        registry = MetricsRegistry()
+        with registry.timer("stage"):
+            with registry.timer("stage"):
+                time.sleep(0.004)
+        stats = registry.timing("stage")
+        assert stats.count == 1
+        # Double-counting would make total >= 2 * 0.004.
+        assert stats.total < 0.008
+
+    def test_sequential_same_name_still_counts(self):
+        """Back-to-back (non-nested) same-name timers each record."""
+        registry = MetricsRegistry()
+        with registry.timer("stage"):
+            pass
+        with registry.timer("stage"):
+            pass
+        assert registry.timing("stage").count == 2
+
+    def test_nested_different_names_both_record(self):
+        registry = MetricsRegistry()
+        with registry.timer("outer"):
+            with registry.timer("inner"):
+                pass
+        assert registry.timing("outer").count == 1
+        assert registry.timing("inner").count == 1
 
     def test_stage_timer_observes_on_exception(self):
         timing = Timing("t")

@@ -1,0 +1,192 @@
+"""Tests for repro.obs.trace: spans, nesting, export, the null tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanLifecycle:
+    def test_span_records_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work"):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.duration == pytest.approx(1.0)
+
+    def test_nesting_assigns_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Completion order: children close before parents.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_attrs_from_kwargs_and_set(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work", size=3) as span:
+            span.set(result=7)
+        assert span.attrs == {"size": 3, "result": 7}
+
+    def test_exception_marks_error_and_closes(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.attrs["error"] == "RuntimeError"
+        assert not tracer._stack
+
+    def test_self_time_excludes_children(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                clock.now += 10.0
+        outer = tracer.spans[-1]
+        inner = tracer.spans[0]
+        assert outer.child_time == pytest.approx(inner.duration)
+        assert outer.self_time == pytest.approx(
+            outer.duration - inner.duration
+        )
+
+    def test_total_time_sums_roots_only(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("a.child"):
+                pass
+        with tracer.span("b"):
+            pass
+        roots = [s for s in tracer.spans if s.parent_id is None]
+        assert tracer.total_time() == pytest.approx(
+            sum(s.duration for s in roots)
+        )
+
+
+class TestAggregation:
+    def test_by_name_counts(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(3):
+            with tracer.span("stage"):
+                pass
+        stats = tracer.by_name()["stage"]
+        assert stats["count"] == 3
+        assert stats["total"] == pytest.approx(3.0)
+
+    def test_render_self_time_sorted(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("fast"):
+            pass
+        with tracer.span("slow"):
+            clock.now += 50.0
+        table = tracer.render_self_time()
+        assert table.index("slow") < table.index("fast")
+
+    def test_render_empty(self):
+        assert "no spans" in Tracer().render_self_time()
+
+
+class TestChromeExport:
+    def test_chrome_trace_shape(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", day=1):
+            with tracer.span("inner"):
+                pass
+        doc = tracer.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+            assert event["ts"] >= 0
+        assert events[0]["args"]["day"] == 1
+        # parent linkage is exported for tooling.
+        assert events[1]["args"]["parent_id"] == events[0]["args"]["span_id"]
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(path)
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestMisNesting:
+    def test_out_of_order_exit_recovers(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # Close outer first (a bug in instrumented code); the stack must
+        # recover so the next root span has no bogus parent.
+        outer.__exit__(None, None, None)
+        with tracer.span("next") as nxt:
+            pass
+        assert nxt.parent_id is None
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_null_span_is_shared_noop(self):
+        span = NULL_TRACER.span("anything", x=1)
+        assert span is NULL_SPAN
+        with span as entered:
+            assert entered is span
+        assert span.set(y=2) is span
+        assert NULL_TRACER.spans == []
+
+    def test_set_and_restore(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_scoped(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_instrumented_code_picks_up_tracer(self):
+        """detect_scans spans appear when a tracer is installed mid-run."""
+        from repro.analysis.records import PacketRecords
+        from repro.analysis.scandetect import detect_scans
+
+        with use_tracer(Tracer()) as tracer:
+            detect_scans(PacketRecords.empty())
+        names = [s.name for s in tracer.spans]
+        assert names == ["analysis.detect_scans"]

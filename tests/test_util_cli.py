@@ -135,3 +135,49 @@ class TestCli:
         assert "experiment.table2" in snapshot["timings"]
         # the CLI must restore the null registry after the run.
         assert get_registry() is NULL_REGISTRY
+
+    def test_metrics_trace_journal_compose(self, capsys, tmp_path):
+        """--metrics, --trace, and --journal all work in one invocation."""
+        import json
+
+        from repro.obs import (
+            NULL_JOURNAL,
+            NULL_REGISTRY,
+            NULL_TRACER,
+            get_journal,
+            get_registry,
+            get_tracer,
+            load_manifest,
+            read_journal,
+        )
+
+        trace_path = tmp_path / "trace.json"
+        journal_path = tmp_path / "journal.jsonl"
+        assert main([
+            "run", "--days", "3", "--scale", "1e-5", "--tail", "2",
+            "--metrics", f"--trace={trace_path}",
+            f"--journal={journal_path}",
+        ]) == 0
+        out = capsys.readouterr().out
+        # All three layers reported.
+        assert "== metrics snapshot ==" in out
+        assert "== trace self-time by stage ==" in out
+        assert "scenario.run_day" in out
+        # The trace file is Chrome-trace-viewer-loadable JSON.
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "run_scenario" in names and "scenario.run_day" in names
+        # The journal opens with a manifest and closes with run_end.
+        records = read_journal(journal_path)
+        assert records[0]["type"] == "run_manifest"
+        assert records[-1]["type"] == "run_end"
+        assert load_manifest(journal_path).config["duration_days"] == 3
+        # The CLI must restore all three null layers after the run.
+        assert get_registry() is NULL_REGISTRY
+        assert get_tracer() is NULL_TRACER
+        assert get_journal() is NULL_JOURNAL
+
+    def test_trace_without_file_prints_table(self, capsys):
+        assert main(["experiment", "table2", "--trace"]) == 0
+        assert "== trace" in capsys.readouterr().out
