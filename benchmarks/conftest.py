@@ -7,6 +7,7 @@ paper-shaped rows to ``results/<experiment>.txt`` (stdout is captured by
 pytest; the files are the artifact).
 """
 
+import os
 import pathlib
 
 import pytest
@@ -15,6 +16,14 @@ from repro.sim import ScenarioConfig, run_scenario
 from repro.sim.cdn import CdnVantage
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: The shared scenario is cached on disk so a benchmark session after the
+#: first skips its ~2-minute simulation; REPRO_BENCH_CACHE overrides the
+#: location, REPRO_BENCH_CACHE=0 disables caching.
+BENCH_CACHE_DIR = os.environ.get(
+    "REPRO_BENCH_CACHE",
+    str(pathlib.Path(__file__).resolve().parent.parent / ".cache"),
+)
 
 
 @pytest.fixture(scope="session")
@@ -27,7 +36,8 @@ def scenario_result():
         n_tail=140,
         withdraw_after_days=50,
     )
-    return run_scenario(config)
+    cache_dir = None if BENCH_CACHE_DIR == "0" else BENCH_CACHE_DIR
+    return run_scenario(config, cache_dir=cache_dir)
 
 
 @pytest.fixture(scope="session")

@@ -16,7 +16,12 @@ invocation):
   table; with ``FILE``, also write Chrome/Perfetto trace-event JSON;
 * ``--journal[=FILE]`` — append the run-provenance journal (manifest,
   per-day progress, session/honeyprefix lifecycle, detection summaries)
-  to ``FILE`` (default ``journal.jsonl``).
+  to ``FILE`` (default ``journal.jsonl``);
+* ``--cache[=DIR]`` — reuse/store the scenario result in an on-disk cache
+  (default ``.cache``); ``--no-cache`` ignores any configured cache.
+
+``experiment`` additionally takes ``--jobs N`` to render report sections
+in ``N`` worker processes (the report bytes do not depend on N).
 """
 
 from __future__ import annotations
@@ -38,6 +43,9 @@ from repro.sim import ScenarioConfig, run_scenario
 
 #: --journal without a path appends here.
 DEFAULT_JOURNAL_PATH = "journal.jsonl"
+
+#: --cache without a directory uses this.
+DEFAULT_CACHE_DIR = ".cache"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="FILE",
                        help="write the run-provenance journal (JSONL) to "
                             f"FILE (default {DEFAULT_JOURNAL_PATH})")
+        p.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_DIR,
+                       default=None, metavar="DIR",
+                       help="load/store the scenario result via the on-disk "
+                            f"cache in DIR (default {DEFAULT_CACHE_DIR})")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore any configured cache and simulate")
 
     run_p = sub.add_parser("run", help="run the scenario, print headlines")
     add_scenario_args(run_p)
@@ -80,18 +94,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="experiment ids (see 'list'), or 'all'")
     exp_p.add_argument("--output", default=None,
                        help="also write the combined report to this file")
+    exp_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="render report sections in N worker processes "
+                            "(output is identical for every N)")
     add_scenario_args(exp_p)
     return parser
 
 
-def _scenario(args) -> object:
-    config = ScenarioConfig(
+def _config(args) -> ScenarioConfig:
+    return ScenarioConfig(
         seed=args.seed, duration_days=args.days,
         volume_scale=args.scale, n_tail=args.tail,
     )
+
+
+def _cache_dir(args):
+    return None if args.no_cache else args.cache
+
+
+def _scenario(args) -> object:
     print(f"running scenario: {args.days} days, scale {args.scale}, "
           f"seed {args.seed} ...", file=sys.stderr)
-    return run_scenario(config)
+    return run_scenario(_config(args), cache_dir=_cache_dir(args))
 
 
 def _emit_metrics(registry: MetricsRegistry, metrics_arg) -> None:
@@ -116,10 +140,23 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
-        for key, (fn, needs_result) in EXPERIMENTS.items():
-            source = "scenario" if needs_result else "standalone"
+        from repro.experiments.report import JOBS_AWARE
+
+        def describe(key: str) -> str:
+            fn, _ = EXPERIMENTS[key]
             doc = (fn.__doc__ or "").strip().splitlines()[0]
-            print(f"  {key:8s} [{source:10s}] {doc}")
+            marker = "*" if key in JOBS_AWARE else " "
+            return f"  {key:8s} {marker} {doc}"
+
+        print("standalone (no scenario run needed):")
+        for key, (_, needs_result) in EXPERIMENTS.items():
+            if not needs_result:
+                print(describe(key))
+        print("scenario-driven (share one telescope run; "
+              "* = fans out internally with --jobs):")
+        for key, (_, needs_result) in EXPERIMENTS.items():
+            if needs_result:
+                print(describe(key))
         return 0
 
     # Install the observability layers before the scenario is built:
@@ -152,18 +189,24 @@ def main(argv: list[str] | None = None) -> int:
             return 0
 
         # experiment
-        ids = list(EXPERIMENTS) if args.ids == ["all"] else args.ids
-        unknown = [i for i in ids if i not in EXPERIMENTS]
-        if unknown:
-            print(f"unknown experiment ids: {unknown}", file=sys.stderr)
-            print(f"known: {sorted(EXPERIMENTS)} (or 'all')", file=sys.stderr)
+        from repro.exec import (
+            UnknownExperimentError,
+            partition_ids,
+            resolve_ids,
+            run_experiments,
+        )
+
+        try:
+            ids = resolve_ids(args.ids)
+        except UnknownExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
             return 2
         result = None
-        if any(EXPERIMENTS[i][1] for i in ids):
+        if partition_ids(ids)[1]:
             result = _scenario(args)
-        from repro.experiments.report import run_all
-
-        print(run_all(result, experiment_ids=ids, output_path=args.output))
+        print(run_experiments(
+            ids=ids, jobs=args.jobs, output_path=args.output, result=result,
+        ))
         if registry:
             _emit_metrics(registry, args.metrics)
         if tracer:

@@ -28,12 +28,17 @@ Kalman filter.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 from scipy import optimize, stats
 
 from repro._util import make_rng
+
+#: Hoisted out of the Kalman likelihood loops: recomputing ``log(2*pi)``
+#: per step is pure overhead.
+_LOG_2PI = float(np.log(2.0 * np.pi))
 
 
 @dataclass(frozen=True)
@@ -59,23 +64,30 @@ def kalman_filter_local_level(
     level = np.zeros(n)
     level_var = np.zeros(n)
     # Diffuse-ish initialization around the first finite observation.
-    finite = z[np.isfinite(z)]
+    finite_mask = np.isfinite(z)
+    finite = z[finite_mask]
     mu = float(finite[0]) if len(finite) else 0.0
     var = float(np.var(finite)) + sigma_obs2 + 1.0 if len(finite) else 1.0
     loglik = 0.0
+    # Hot loop: everything is a Python float and a local name — the numpy
+    # per-step scalar ops and repeated attribute/ufunc lookups the naive
+    # version paid for dominate its runtime.
+    z_values = z.tolist()
+    observed = finite_mask.tolist()
+    log = math.log
     for t in range(n):
         # Predict.
         var = var + sigma_level2
-        if np.isfinite(z[t]):
+        if observed[t]:
             # Update.
-            innovation = z[t] - mu
+            innovation = z_values[t] - mu
             innovation_var = var + sigma_obs2
             gain = var / innovation_var
             mu = mu + gain * innovation
             var = (1.0 - gain) * var
-            loglik += -0.5 * (
-                np.log(2.0 * np.pi * innovation_var)
-                + innovation ** 2 / innovation_var
+            loglik -= 0.5 * (
+                _LOG_2PI + log(innovation_var)
+                + innovation * innovation / innovation_var
             )
         level[t] = mu
         level_var[t] = var
@@ -228,6 +240,43 @@ class CausalImpact:
                                n=len(y), intervention=intervention_index):
             return self._run_impl(y, x, intervention_index)
 
+    def bootstrap_draws(
+        self,
+        pointwise: np.ndarray,
+        cf_sd: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """All ``n_resamples`` bootstrap means in one batched draw.
+
+        One ``(B, n_post)`` index draw plus one matching noise draw replace
+        the per-resample loop; the centered row means come out identical to
+        :meth:`bootstrap_draws_reference` under the same generator state
+        because both consume the stream in the same order (all indices
+        first, then all noise, row-major).
+        """
+        n_post = len(pointwise)
+        idx = rng.integers(0, n_post, size=(self.n_resamples, n_post))
+        noise = rng.normal(0.0, cf_sd[idx])
+        resampled = pointwise[idx] + noise - noise.mean(axis=1, keepdims=True)
+        return resampled.mean(axis=1)
+
+    def bootstrap_draws_reference(
+        self,
+        pointwise: np.ndarray,
+        cf_sd: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Scalar per-resample loop: the readable spec for
+        :meth:`bootstrap_draws`, kept for the seeded equivalence test."""
+        n_post = len(pointwise)
+        idx_rows = [rng.integers(0, n_post, size=n_post)
+                    for _ in range(self.n_resamples)]
+        draws = np.empty(self.n_resamples)
+        for b, idx in enumerate(idx_rows):
+            noise = rng.normal(0.0, cf_sd[idx])
+            draws[b] = np.mean(pointwise[idx] + noise - noise.mean())
+        return draws
+
     def _run_impl(
         self,
         y: np.ndarray,
@@ -260,12 +309,8 @@ class CausalImpact:
         # 95% interval by resampling the daily effects (paper §3.4),
         # combined with the model's predictive uncertainty.
         n_post = len(pointwise)
-        draws = np.empty(self.n_resamples)
         cf_sd = np.sqrt(np.maximum(cf_var, 0.0))
-        for b in range(self.n_resamples):
-            idx = self._rng.integers(0, n_post, size=n_post)
-            noise = self._rng.normal(0.0, cf_sd[idx])
-            draws[b] = np.mean(pointwise[idx] + noise - noise.mean())
+        draws = self.bootstrap_draws(pointwise, cf_sd, self._rng)
         # Add predictive-mean uncertainty from the counterfactual itself.
         mean_sd = float(np.sqrt(np.sum(cf_var)) / n_post)
         spread = self._rng.normal(0.0, mean_sd, size=self.n_resamples)
@@ -344,25 +389,30 @@ def kalman_filter_seasonal(
 
     fitted = np.zeros(n)
     loglik = 0.0
+    # Hot loop: the observation vector picks out states 0 and 1, so the
+    # ``observation @ ...`` products reduce to two-element sums — worth
+    # spelling out since this filter runs inside an L-BFGS objective.
+    z_values = z.tolist()
+    observed = np.isfinite(z).tolist()
+    transition_t = transition.T
+    log = math.log
     for t in range(n):
         # Predict.
         state = transition @ state
-        covariance = transition @ covariance @ transition.T + state_noise
-        prediction = float(observation @ state)
-        if np.isfinite(z[t]):
-            innovation = z[t] - prediction
-            innovation_var = float(
-                observation @ covariance @ observation + sigma_obs2
-            )
-            gain = (covariance @ observation) / innovation_var
+        covariance = transition @ covariance @ transition_t + state_noise
+        if observed[t]:
+            prediction = state[0] + state[1]
+            innovation = z_values[t] - prediction
+            obs_cov = covariance[0] + covariance[1]
+            innovation_var = obs_cov[0] + obs_cov[1] + sigma_obs2
+            gain = obs_cov / innovation_var
             state = state + gain * innovation
-            covariance = covariance - np.outer(gain,
-                                               observation @ covariance)
-            loglik += -0.5 * (
-                np.log(2.0 * np.pi * innovation_var)
-                + innovation ** 2 / innovation_var
+            covariance = covariance - np.outer(gain, obs_cov)
+            loglik -= 0.5 * (
+                _LOG_2PI + log(innovation_var)
+                + innovation * innovation / innovation_var
             )
-        fitted[t] = float(observation @ state)
+        fitted[t] = state[0] + state[1]
     return SeasonalKalmanResult(
         state_mean=state, state_cov=covariance, fitted_level=fitted,
         loglik=float(loglik), sigma_obs2=sigma_obs2,

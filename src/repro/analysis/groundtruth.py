@@ -124,6 +124,34 @@ class GroundTruthRecords:
         known = self.origin[self.origin >= 0]
         return np.unique(known)
 
+    # -- persistence -----------------------------------------------------
+
+    def save_npz(self, path) -> None:
+        """Persist the columns as a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            path,
+            ts=self.ts, src_hi=self.src_hi, src_lo=self.src_lo,
+            dst_hi=self.dst_hi, dst_lo=self.dst_lo, origin=self.origin,
+        )
+
+    @classmethod
+    def load_npz(cls, path) -> "GroundTruthRecords":
+        """Load a sidecar saved by :meth:`save_npz`.
+
+        An archive without the ``origin`` column (e.g. a plain
+        :class:`~repro.analysis.records.PacketRecords` archive) still
+        loads: every row gets origin ``-1``, the unknown-emitter marker.
+        """
+        with np.load(path) as archive:
+            origin = (archive["origin"] if "origin" in archive.files
+                      else np.full(len(archive["ts"]), -1, dtype=np.int32))
+            return cls.from_columns(
+                ts=archive["ts"],
+                src_hi=archive["src_hi"], src_lo=archive["src_lo"],
+                dst_hi=archive["dst_hi"], dst_lo=archive["dst_lo"],
+                origin=origin,
+            )
+
 
 @dataclass(frozen=True, slots=True)
 class TruthEvent:

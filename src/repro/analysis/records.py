@@ -249,7 +249,7 @@ class PacketRecords:
 
     # -- persistence -----------------------------------------------------
 
-    def save(self, path) -> None:
+    def save_npz(self, path) -> None:
         """Persist the columns as a compressed ``.npz`` archive."""
         np.savez_compressed(
             path,
@@ -259,13 +259,18 @@ class PacketRecords:
         )
 
     @classmethod
-    def load(cls, path) -> "PacketRecords":
-        """Load records saved by :meth:`save`."""
+    def load_npz(cls, path) -> "PacketRecords":
+        """Load records saved by :meth:`save_npz` (dtypes re-coerced, so a
+        hand-built archive with wider integer columns still loads)."""
         with np.load(path) as archive:
-            return cls(
+            return cls.from_columns(
                 ts=archive["ts"],
                 src_hi=archive["src_hi"], src_lo=archive["src_lo"],
                 dst_hi=archive["dst_hi"], dst_lo=archive["dst_lo"],
                 proto=archive["proto"], sport=archive["sport"],
                 dport=archive["dport"],
             )
+
+    #: Back-compat aliases for the pre-cache spelling.
+    save = save_npz
+    load = load_npz

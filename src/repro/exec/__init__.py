@@ -1,0 +1,47 @@
+"""Parallel execution and result caching for the reproduction suite.
+
+Three coordinated pieces, in the shape of a training/inference stack's
+data-parallel + artifact-cache tier:
+
+* :mod:`repro.exec.pool` — :func:`run_experiments`, the process-pool
+  experiment scheduler (``python -m repro experiment all --jobs N``);
+* :mod:`repro.exec.cache` — :class:`ScenarioCache`, the content-addressed
+  on-disk store of frozen scenario results (``--cache DIR``);
+* :mod:`repro.exec.parallel` — :func:`parallel_map`, the deterministic
+  fan-out primitive shared with the jobs-aware experiment drivers
+  (``table4``/``fig7``/``fig8``/``fig10``).
+
+All three uphold one determinism contract: output bytes depend only on the
+configuration (seeds included), never on ``jobs``, worker identity, or
+cache state.  See the "Parallel execution & scenario cache" section of
+``docs/ARCHITECTURE.md``.
+"""
+
+from repro.exec.cache import CACHE_SCHEMA_VERSION, ScenarioCache
+from repro.exec.freeze import (
+    FrozenFabric,
+    FrozenScenario,
+    freeze_result,
+    freeze_scenario,
+)
+from repro.exec.parallel import parallel_map
+from repro.exec.pool import (
+    UnknownExperimentError,
+    partition_ids,
+    resolve_ids,
+    run_experiments,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "FrozenFabric",
+    "FrozenScenario",
+    "ScenarioCache",
+    "UnknownExperimentError",
+    "freeze_result",
+    "freeze_scenario",
+    "parallel_map",
+    "partition_ids",
+    "resolve_ids",
+    "run_experiments",
+]

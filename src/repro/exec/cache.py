@@ -1,0 +1,200 @@
+"""On-disk scenario result cache, keyed by config hash + package version.
+
+A cache entry is one directory holding the frozen
+:class:`~repro.sim.runner.ScenarioResult` bundle:
+
+* ``nta.npz`` / ``ntb.npz`` / ``ntc.npz`` — the telescopes' columnar
+  captures (:meth:`PacketRecords.save_npz`),
+* ``truth-<telescope>.npz`` — the ground-truth provenance sidecars,
+* ``meta.pkl`` — the pickled :class:`~repro.exec.freeze.FrozenScenario`
+  (honeyprefix timelines, metadata datasets, dispatch counters),
+* ``manifest.json`` — the :class:`~repro.obs.journal.RunManifest` fields
+  plus a SHA-256 checksum per file.
+
+The entry key is ``<repro version>-<config hash>``: the config hash covers
+*every* :class:`ScenarioConfig` field (seed included), and baking the
+package version into the key invalidates all entries on upgrade — a new
+release may change simulation semantics, so a stale bundle must never
+masquerade as a fresh run.  Loads verify every checksum before
+deserializing anything; any mismatch, torn file, or unreadable manifest
+counts as a miss and the caller re-simulates (and overwrites the entry).
+Stores write into a temporary sibling directory and rename it into place,
+so a crashed store can never leave a half-written entry that passes
+verification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.exec.freeze import freeze_result
+from repro.obs import RunManifest, config_hash, get_journal, get_registry, get_tracer
+
+#: Bump when the entry layout changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: The record columns files inside one entry (fixed names, fixed set).
+_RECORD_FILES = ("nta.npz", "ntb.npz", "ntc.npz")
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class CacheMiss(Exception):
+    """Internal: entry absent, stale, or failed verification."""
+
+
+class ScenarioCache:
+    """Content-addressed store of frozen scenario results."""
+
+    def __init__(self, cache_dir: str | os.PathLike):
+        self.root = Path(cache_dir)
+
+    # -- keys -------------------------------------------------------------
+
+    def key(self, config) -> str:
+        from repro import __version__
+
+        return f"{__version__}-{config_hash(config)}"
+
+    def entry_dir(self, config) -> Path:
+        return self.root / self.key(config)
+
+    # -- store ------------------------------------------------------------
+
+    def store(self, result) -> Path:
+        """Persist ``result``; returns the entry directory."""
+        registry = get_registry()
+        with get_tracer().span("scenario.cache_store"):
+            frozen = freeze_result(result)
+            config = frozen.config
+            entry = self.entry_dir(config)
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = Path(tempfile.mkdtemp(
+                prefix=entry.name + ".tmp-", dir=self.root
+            ))
+            try:
+                frozen.nta.save_npz(tmp / "nta.npz")
+                frozen.ntb.save_npz(tmp / "ntb.npz")
+                frozen.ntc.save_npz(tmp / "ntc.npz")
+                truth_files = {}
+                for name, truth in frozen.truth.items():
+                    filename = f"truth-{name}.npz"
+                    truth.save_npz(tmp / filename)
+                    truth_files[filename] = name
+                with open(tmp / "meta.pkl", "wb") as stream:
+                    pickle.dump(frozen.scenario, stream,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                files = sorted(
+                    [*_RECORD_FILES, *truth_files, "meta.pkl"]
+                )
+                manifest = {
+                    "cache_schema": CACHE_SCHEMA_VERSION,
+                    **RunManifest.from_config(config).to_record_fields(),
+                    "truth": truth_files,
+                    "files": {f: _sha256(tmp / f) for f in files},
+                }
+                with open(tmp / "manifest.json", "w") as stream:
+                    json.dump(manifest, stream, sort_keys=True, default=repr)
+                    stream.write("\n")
+                if entry.exists():
+                    shutil.rmtree(entry)
+                os.rename(tmp, entry)
+            except BaseException:
+                shutil.rmtree(tmp, ignore_errors=True)
+                raise
+        registry.counter("scenario.cache.stores").inc()
+        get_journal().emit("cache_store", config_hash=config_hash(config),
+                           path=str(entry))
+        return entry
+
+    # -- load -------------------------------------------------------------
+
+    def _verified_manifest(self, config, entry: Path) -> dict:
+        """Read the manifest and checksum every file, or raise CacheMiss."""
+        manifest_path = entry / "manifest.json"
+        if not manifest_path.is_file():
+            raise CacheMiss("no manifest")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (json.JSONDecodeError, OSError) as error:
+            raise CacheMiss(f"unreadable manifest: {error}") from error
+        if manifest.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            raise CacheMiss("cache schema version mismatch")
+        from repro import __version__
+
+        if manifest.get("repro_version") != __version__:
+            raise CacheMiss("package version changed")
+        if manifest.get("config_hash") != config_hash(config):
+            raise CacheMiss("config hash mismatch")
+        files = manifest.get("files")
+        if not isinstance(files, dict) or not files:
+            raise CacheMiss("manifest lists no files")
+        for name, expected in files.items():
+            path = entry / name
+            if not path.is_file():
+                raise CacheMiss(f"missing file {name}")
+            if _sha256(path) != expected:
+                raise CacheMiss(f"checksum mismatch on {name}")
+        return manifest
+
+    def load(self, config):
+        """The cached :class:`ScenarioResult` for ``config``, or None.
+
+        Verification runs *before* deserialization: a corrupt or stale
+        entry is reported as a miss (with a ``scenario.cache.invalid``
+        count when an entry existed but failed), never as a crash.
+        """
+        from repro.analysis.groundtruth import GroundTruthRecords
+        from repro.analysis.records import PacketRecords
+        from repro.sim.runner import ScenarioResult
+
+        registry = get_registry()
+        entry = self.entry_dir(config)
+        with get_tracer().span("scenario.cache_load", key=entry.name) as span:
+            try:
+                manifest = self._verified_manifest(config, entry)
+                records = {
+                    name: PacketRecords.load_npz(entry / f"{name}.npz")
+                    for name in ("nta", "ntb", "ntc")
+                }
+                truth = {
+                    telescope: GroundTruthRecords.load_npz(entry / filename)
+                    for filename, telescope in manifest["truth"].items()
+                }
+                with open(entry / "meta.pkl", "rb") as stream:
+                    scenario = pickle.load(stream)
+            except CacheMiss as miss:
+                span.set(outcome="miss", reason=str(miss))
+                if entry.exists():
+                    registry.counter("scenario.cache.invalid").inc()
+                registry.counter("scenario.cache.misses").inc()
+                return None
+            except (OSError, pickle.UnpicklingError, ValueError, KeyError):
+                # Verification passed but deserialization still tore —
+                # treat exactly like a miss; the caller re-simulates.
+                span.set(outcome="miss", reason="deserialization failed")
+                registry.counter("scenario.cache.invalid").inc()
+                registry.counter("scenario.cache.misses").inc()
+                return None
+            span.set(outcome="hit")
+        registry.counter("scenario.cache.hits").inc()
+        get_journal().emit("cache_hit", config_hash=config_hash(config),
+                           path=str(entry))
+        return ScenarioResult(
+            scenario=scenario,
+            nta=records["nta"], ntb=records["ntb"], ntc=records["ntc"],
+            telemetry=registry.snapshot() if registry.enabled else {},
+            truth=truth,
+        )

@@ -1,4 +1,11 @@
-"""Effect-size experiments: Table 4, Figures 7, 8, and 10."""
+"""Effect-size experiments: Table 4, Figures 7, 8, and 10.
+
+Every driver here takes ``jobs`` and fans its per-honeyprefix estimation
+out through :func:`repro.exec.parallel.parallel_map`.  The task arguments
+carry everything a worker needs (records, control series, seeds derived
+from ``rng_seed``) and results come back in task order, so the rendered
+output is byte-identical for every ``jobs`` value.
+"""
 
 from __future__ import annotations
 
@@ -15,6 +22,7 @@ from repro.analysis.effects import (
     pointwise_effect_matrix,
 )
 from repro.core.features import Feature
+from repro.exec.parallel import parallel_map
 from repro.sim.runner import ScenarioResult
 
 #: The honeyprefixes Table 4 reports (H_TCP excluded: its announcement
@@ -61,11 +69,20 @@ class Table4Result:
         return "\n".join(lines)
 
 
-def table4(result: ScenarioResult, rng_seed: int = 0) -> Table4Result:
-    """Table 4: BSTM effect sizes for every honeyprefix + TPot triggers."""
+def table4(result: ScenarioResult, rng_seed: int = 0,
+           jobs: int = 1) -> Table4Result:
+    """Table 4: BSTM effect sizes for every honeyprefix + TPot triggers.
+
+    The eligibility logic stays in-process (it only reads feature
+    timelines); each eligible (prefix, metric) estimation becomes one
+    :func:`estimate_effect` task, fanned out ``jobs`` at a time.  Seeds
+    travel in the task arguments, so the table is identical for any
+    ``jobs``.
+    """
     control = result.control_records()
-    traffic: dict[str, EffectEstimate] = {}
-    asn: dict[str, EffectEstimate] = {}
+    # (kind, name) labels paired with estimate_effect argument tuples.
+    labels: list[tuple[str, str]] = []
+    tasks: list[tuple] = []
     for name in TABLE4_PREFIXES:
         hp = result.honeyprefixes.get(name)
         if hp is None:
@@ -86,15 +103,12 @@ def table4(result: ScenarioResult, rng_seed: int = 0) -> Table4Result:
             end = min(end, min(later))
         if end - t0 < 2 * DAY:
             continue
-        traffic[name] = estimate_effect(
-            name, records, control, t0, result.start, end,
-            "packets", rng=rng_seed,
-        )
-        asn[name] = estimate_effect(
-            name, records, control, t0, result.start, end,
-            "asns", joiner=result.joiner, rng=rng_seed + 1,
-        )
-    triggers: dict[str, EffectEstimate] = {}
+        labels.append(("traffic", name))
+        tasks.append((name, records, control, t0, result.start, end,
+                      "packets", None, 0.05, rng_seed))
+        labels.append(("asn", name))
+        tasks.append((name, records, control, t0, result.start, end,
+                      "asns", result.joiner, 0.05, rng_seed + 1))
     tpot = result.honeyprefixes.get("H_TPot1")
     if tpot is not None:
         records = result.honeyprefix_records("H_TPot1")
@@ -102,10 +116,17 @@ def table4(result: ScenarioResult, rng_seed: int = 0) -> Table4Result:
                                ("TPot1+TLS", Feature.TLS_ROOT)):
             t = tpot.feature_time(feature)
             if t is not None and t < result.end - 3 * DAY:
-                triggers[label] = estimate_effect(
-                    label, records, control, t, result.start, result.end,
-                    "packets", rng=rng_seed + 2,
-                )
+                labels.append(("trigger", label))
+                tasks.append((label, records, control, t, result.start,
+                              result.end, "packets", None, 0.05,
+                              rng_seed + 2))
+    estimates = parallel_map(estimate_effect, tasks, jobs=jobs)
+    traffic: dict[str, EffectEstimate] = {}
+    asn: dict[str, EffectEstimate] = {}
+    triggers: dict[str, EffectEstimate] = {}
+    buckets = {"traffic": traffic, "asn": asn, "trigger": triggers}
+    for (kind, name), estimate in zip(labels, estimates):
+        buckets[kind][name] = estimate
     return Table4Result(traffic=traffic, asn=asn, triggers=triggers)
 
 
@@ -139,20 +160,20 @@ class Fig7Result:
 
 def fig7(result: ScenarioResult,
          names: tuple[str, ...] = ("H_Com", "H_Alias", "H_TPot1"),
-         rng_seed: int = 0) -> Fig7Result:
+         rng_seed: int = 0, jobs: int = 1) -> Fig7Result:
     """Figure 7: effect heatmap + trigger-induced order-of-magnitude jumps."""
     control = result.control_records()
-    estimates = []
+    tasks = []
     kept = []
     for name in names:
         records = result.honeyprefix_records(name)
         if len(records) == 0:
             continue
         kept.append(name)
-        estimates.append(estimate_effect(
-            name, records, control, _bgp_time(result, name),
-            result.start, result.end, "packets", rng=rng_seed,
-        ))
+        tasks.append((name, records, control, _bgp_time(result, name),
+                      result.start, result.end, "packets", None, 0.05,
+                      rng_seed))
+    estimates = parallel_map(estimate_effect, tasks, jobs=jobs)
     n_days = max(len(e.impact.pointwise) for e in estimates)
     matrix = pointwise_effect_matrix(estimates, n_days)
     convergence = {
@@ -225,22 +246,22 @@ class Fig8Result:
 
 
 def fig8(result: ScenarioResult,
-         names: tuple[str, ...] = ("H_Com", "H_Alias", "H_TPot1")) -> Fig8Result:
+         names: tuple[str, ...] = ("H_Com", "H_Alias", "H_TPot1"),
+         jobs: int = 1) -> Fig8Result:
     """Figure 8: ΔASN stays consistent; traffic volume decays."""
-    asn_series = {}
-    traffic_series = {}
+    tasks = []
     kept = []
     for name in names:
         records = result.honeyprefix_records(name)
         if len(records) == 0:
             continue
         kept.append(name)
-        asn_series[name] = daily_series(
-            records, result.start, result.end, "asns", joiner=result.joiner
-        )
-        traffic_series[name] = daily_series(
-            records, result.start, result.end
-        )
+        tasks.append((records, result.start, result.end, "asns",
+                      result.joiner))
+        tasks.append((records, result.start, result.end, "packets", None))
+    series = parallel_map(daily_series, tasks, jobs=jobs)
+    asn_series = dict(zip(kept, series[0::2]))
+    traffic_series = dict(zip(kept, series[1::2]))
     return Fig8Result(names=kept, asn_series=asn_series,
                       traffic_series=traffic_series)
 
@@ -289,14 +310,20 @@ class Fig10Result:
         return "\n".join(lines)
 
 
-def fig10(result: ScenarioResult) -> Fig10Result:
+def _specific_packet_count(nta, prefix) -> int:
+    """Packets captured for one hyper-specific prefix (fig10 task body)."""
+    return int(np.count_nonzero(nta.mask_dst_in(prefix)))
+
+
+def fig10(result: ScenarioResult, jobs: int = 1) -> Fig10Result:
     """Figure 10: per-hyper-specific-prefix traffic totals."""
     lengths = []
-    packets = []
+    tasks = []
     for length in range(49, 65):
         name = f"H_Specific/{length}"
         if name not in result.honeyprefixes:
             continue
         lengths.append(length)
-        packets.append(len(result.honeyprefix_records(name)))
+        tasks.append((result.nta, result.honeyprefixes[name].prefix))
+    packets = parallel_map(_specific_packet_count, tasks, jobs=jobs)
     return Fig10Result(lengths=lengths, packets=packets)

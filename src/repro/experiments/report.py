@@ -4,6 +4,12 @@
 for the scenario-driven ones) and returns/writes the concatenated rendered
 rows — the whole paper's evaluation in a single text artifact.  The CLI
 exposes it as ``python -m repro experiment all``.
+
+The report is assembled from per-experiment *sections*
+(:func:`render_section`), each independent of the others, so the parallel
+executor (:mod:`repro.exec.pool`) can render sections in worker processes
+and concatenate them in id order — producing the exact bytes the serial
+path produces.
 """
 
 from __future__ import annotations
@@ -11,8 +17,60 @@ from __future__ import annotations
 import io
 
 from repro.experiments import EXPERIMENTS
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 from repro.sim.runner import ScenarioResult
+
+#: Experiment drivers that accept a ``jobs=`` keyword and parallelize
+#: their independent treatment/control estimations internally.
+JOBS_AWARE = frozenset({"table4", "fig7", "fig8", "fig10"})
+
+
+def render_header(result: ScenarioResult | None) -> str:
+    """The report preamble (scenario line included when one was run)."""
+    buffer = io.StringIO()
+    buffer.write("# Full reproduction report\n")
+    if result is not None:
+        config = result.config
+        buffer.write(
+            f"# scenario: {config.duration_days} days, "
+            f"volume_scale={config.volume_scale}, seed={config.seed}\n"
+        )
+    return buffer.getvalue()
+
+
+def render_section(
+    experiment_id: str,
+    result: ScenarioResult | None = None,
+    jobs: int = 1,
+) -> str:
+    """One experiment's report chunk: ``\\n## <id>\\n`` + rendered rows.
+
+    Runs the driver under the active registry/tracer (worker processes
+    install their own and ship snapshots back).  An experiment that is
+    unrunnable in the configured horizon (e.g. the retraction happens
+    after the window ends) renders as a ``(skipped: ...)`` note instead of
+    poisoning the rest of the report.
+    """
+    driver, needs_result = EXPERIMENTS[experiment_id]
+    registry = get_registry()
+    buffer = io.StringIO()
+    buffer.write(f"\n## {experiment_id}\n")
+    if needs_result:
+        registry.gauge(f"experiment.{experiment_id}.records_in").set(
+            len(result.nta) + len(result.ntb) + len(result.ntc)
+        )
+    kwargs = {"jobs": jobs} if experiment_id in JOBS_AWARE and jobs > 1 else {}
+    try:
+        with registry.timer(f"experiment.{experiment_id}"), \
+                get_tracer().span(f"experiment.{experiment_id}"):
+            output = (driver(result, **kwargs) if needs_result
+                      else driver(**kwargs))
+    except ValueError as error:
+        buffer.write(f"(skipped: {error})\n")
+        return buffer.getvalue()
+    buffer.write(output.render())
+    buffer.write("\n")
+    return buffer.getvalue()
 
 
 def run_all(
@@ -36,32 +94,9 @@ def run_all(
             f"experiments {needs_scenario} need a ScenarioResult; pass one"
         )
     buffer = io.StringIO()
-    buffer.write("# Full reproduction report\n")
-    if result is not None:
-        config = result.config
-        buffer.write(
-            f"# scenario: {config.duration_days} days, "
-            f"volume_scale={config.volume_scale}, seed={config.seed}\n"
-        )
-    registry = get_registry()
+    buffer.write(render_header(result))
     for experiment_id in ids:
-        driver, needs_result = EXPERIMENTS[experiment_id]
-        buffer.write(f"\n## {experiment_id}\n")
-        if needs_result:
-            registry.gauge(f"experiment.{experiment_id}.records_in").set(
-                len(result.nta) + len(result.ntb) + len(result.ntc)
-            )
-        try:
-            with registry.timer(f"experiment.{experiment_id}"):
-                output = driver(result) if needs_result else driver()
-        except ValueError as error:
-            # An experiment can be unrunnable in the configured horizon
-            # (e.g. the retraction happens after the window ends); note it
-            # instead of losing the rest of the report.
-            buffer.write(f"(skipped: {error})\n")
-            continue
-        buffer.write(output.render())
-        buffer.write("\n")
+        buffer.write(render_section(experiment_id, result))
     report = buffer.getvalue()
     if output_path is not None:
         with open(output_path, "w") as stream:

@@ -50,6 +50,10 @@ RECORD_SCHEMAS: dict[str, frozenset] = {
     "detection": frozenset(
         {"source_length", "min_targets", "timeout", "records_in",
          "events_out"}),
+    # scenario-cache provenance: a run served from (or written to) the
+    # on-disk result cache records where its bytes came from / went to.
+    "cache_hit": frozenset({"config_hash", "path"}),
+    "cache_store": frozenset({"config_hash", "path"}),
     # one per run, last line
     "run_end": frozenset({"days", "packets"}),
 }

@@ -276,6 +276,53 @@ class MetricsRegistry:
         per call, so same-name timers nest safely)."""
         return StageTimer(self.timing(name))
 
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry | dict") -> "MetricsRegistry":
+        """Fold another registry (or a :meth:`snapshot` dict) into this one.
+
+        The worker-fan-out contract: each worker process records into its
+        own registry and ships ``snapshot()`` back; the parent merges them.
+        Merging is associative and, for disjoint or purely additive
+        metrics, matches a single-process run of the combined workload:
+
+        * **counters** — summed;
+        * **timings** — counts and totals summed, min/max folded;
+        * **histograms** — per-bucket counts summed (bucket edges must
+          match — a mismatch raises, the same rule :meth:`histogram`
+          enforces within one process);
+        * **gauges** — last write wins (the merged-in snapshot overrides),
+          since a gauge is a point-in-time reading, not an accumulation.
+
+        Returns ``self`` so merges chain.
+        """
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, stats in snap.get("timings", {}).items():
+            timing = self.timing(name)
+            if stats.get("count"):
+                timing.count += stats["count"]
+                timing.total += stats["total"]
+                timing.min = min(timing.min, stats["min"])
+                timing.max = max(timing.max, stats["max"])
+        for name, stats in snap.get("histograms", {}).items():
+            if not stats:
+                continue
+            # histogram() raises on a bucket-edge mismatch, the same rule
+            # it enforces for same-name histograms within one process.
+            histogram = self.histogram(name, stats["edges"])
+            for i, count in enumerate(stats["counts"]):
+                histogram.counts[i] += count
+            histogram.count += stats["count"]
+            histogram.sum += stats["sum"]
+            if stats["count"]:
+                histogram.min = min(histogram.min, stats["min"])
+                histogram.max = max(histogram.max, stats["max"])
+        return self
+
     # -- export ----------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -347,6 +394,9 @@ class NullRegistry(MetricsRegistry):
 
     def timer(self, name: str) -> StageTimer:
         return NULL_TIMER  # type: ignore[return-value]
+
+    def merge(self, other: "MetricsRegistry | dict") -> "MetricsRegistry":
+        return self
 
 
 #: The shared disabled registry; also the default active registry.

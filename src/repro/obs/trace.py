@@ -128,6 +128,61 @@ class Tracer:
             self._stack[-1].child_time += span.duration
         self.spans.append(span)
 
+    # -- cross-process shipping -------------------------------------------
+
+    def export_spans(self) -> list[dict]:
+        """Finished spans as plain dicts (picklable, tracer-free).
+
+        The worker-fan-out exchange format: a worker process traces with
+        its own :class:`Tracer`, exports, and ships the list back for the
+        parent to :meth:`adopt`.
+        """
+        return [
+            {
+                "name": span.name, "attrs": dict(span.attrs),
+                "start": span.start, "end": span.end,
+                "span_id": span.span_id, "parent_id": span.parent_id,
+                "child_time": span.child_time,
+            }
+            for span in self.spans
+        ]
+
+    def adopt(self, records: list[dict],
+              parent: "Span | None" = None) -> None:
+        """Graft exported worker spans into this tracer's span list.
+
+        Span ids are re-based past this tracer's counter so they can never
+        collide with local ids, parent links are rewritten accordingly,
+        and the worker's *root* spans are re-parented under ``parent``
+        (typically the executor's live ``executor`` span).  Each adopted
+        root's duration is charged to ``parent`` as child time; with
+        workers running concurrently that summed child time can exceed the
+        parent's wall clock (its self time then reflects orchestration
+        cost minus the overlap), which is the standard reading of a fan-in
+        trace.
+
+        ``perf_counter`` on the platforms we run (CLOCK_MONOTONIC) shares
+        its origin across processes, so adopted timestamps line up with
+        local ones in the Chrome trace.
+        """
+        if not records:
+            return
+        offset = self._next_id
+        parent_id = parent.span_id if parent is not None else None
+        for record in records:
+            span = Span(
+                name=record["name"], attrs=dict(record["attrs"]),
+                start=record["start"], end=record["end"],
+                span_id=record["span_id"] + offset,
+                parent_id=(record["parent_id"] + offset
+                           if record["parent_id"] is not None else parent_id),
+                child_time=record["child_time"],
+            )
+            if record["parent_id"] is None and parent is not None:
+                parent.child_time += span.duration
+            self.spans.append(span)
+            self._next_id = max(self._next_id, span.span_id + 1)
+
     # -- aggregation ------------------------------------------------------
 
     def total_time(self) -> float:
@@ -206,6 +261,10 @@ class NullTracer(Tracer):
 
     def span(self, name: str, **attrs) -> Span:
         return NULL_SPAN  # type: ignore[return-value]
+
+    def adopt(self, records: list[dict],
+              parent: "Span | None" = None) -> None:
+        pass
 
 
 #: The shared disabled tracer; also the default active tracer.

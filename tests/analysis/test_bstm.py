@@ -192,3 +192,40 @@ class TestSeasonalBstm:
 
         with pytest.raises(RuntimeError):
             SeasonalBstmModel().predict(np.zeros((5, 1)))
+
+
+class TestBatchedBootstrap:
+    """The vectorized bootstrap is the scalar reference, exactly."""
+
+    def _inputs(self):
+        rng = np.random.default_rng(21)
+        pointwise = rng.normal(3.0, 2.0, size=41)
+        cf_sd = np.abs(rng.normal(1.0, 0.4, size=41))
+        return pointwise, cf_sd
+
+    def test_matches_reference_bitwise(self):
+        pointwise, cf_sd = self._inputs()
+        estimator = CausalImpact(rng=0, n_resamples=400)
+        batched = estimator.bootstrap_draws(
+            pointwise, cf_sd, np.random.default_rng(77))
+        reference = estimator.bootstrap_draws_reference(
+            pointwise, cf_sd, np.random.default_rng(77))
+        assert np.array_equal(batched, reference)
+
+    def test_consumes_identical_stream(self):
+        """Both paths leave the generator in the same state, so results
+        downstream of the bootstrap cannot depend on which path ran."""
+        pointwise, cf_sd = self._inputs()
+        estimator = CausalImpact(rng=0, n_resamples=100)
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        estimator.bootstrap_draws(pointwise, cf_sd, rng_a)
+        estimator.bootstrap_draws_reference(pointwise, cf_sd, rng_b)
+        assert rng_a.integers(1 << 40) == rng_b.integers(1 << 40)
+
+    def test_single_post_day(self):
+        estimator = CausalImpact(rng=0, n_resamples=50)
+        draws = estimator.bootstrap_draws(
+            np.array([2.5]), np.array([0.1]), np.random.default_rng(1))
+        assert draws.shape == (50,)
+        assert np.all(np.isfinite(draws))

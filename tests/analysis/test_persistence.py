@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.flows import aggregate_flows, write_conn_log
+from repro.analysis.groundtruth import GroundTruthRecords
 from repro.analysis.records import PacketRecords
 from repro.net.packet import TcpFlags, icmp_echo_request, tcp_segment
 from repro.net.pcapstore import PacketWriter
@@ -37,6 +38,62 @@ class TestRecordsPersistence:
         path = tmp_path / "empty.npz"
         PacketRecords.empty().save(path)
         assert len(PacketRecords.load(path)) == 0
+
+    def test_save_load_are_npz_aliases(self):
+        assert PacketRecords.save is PacketRecords.save_npz
+        assert PacketRecords.load.__func__ is PacketRecords.load_npz.__func__
+
+    def test_hyper_specific_addresses_roundtrip(self, tmp_path):
+        """Addresses whose discriminating bits sit below the /48 boundary
+        (hyper-specific prefixes up to /64 and full interface ids) survive
+        the uint64-pair columns exactly."""
+        addresses = [
+            (0x20010DB8 << 96) | (0xBEEF << 64) | (1 << 63),   # /49 bit set
+            (0x20010DB8 << 96) | (0xBEEF << 64) | 0xDEADBEEF,  # low-64 bits
+            (1 << 127) | ((1 << 64) - 1),                      # extremes
+        ]
+        packets = [icmp_echo_request(float(i), a, DST)
+                   for i, a in enumerate(addresses)]
+        path = tmp_path / "specific.npz"
+        PacketRecords.from_packets(packets).save_npz(path)
+        loaded = PacketRecords.load_npz(path)
+        assert list(loaded.src_addresses()) == addresses
+
+
+class TestGroundTruthPersistence:
+    def _truth(self):
+        return GroundTruthRecords.from_columns(
+            ts=[1.0, 2.0], src_hi=[SRC >> 64] * 2, src_lo=[7, 8],
+            dst_hi=[DST >> 64] * 2, dst_lo=[9, 9], origin=[3, -1],
+        )
+
+    def test_roundtrip_with_origin(self, tmp_path):
+        path = tmp_path / "truth.npz"
+        truth = self._truth()
+        truth.save_npz(path)
+        loaded = GroundTruthRecords.load_npz(path)
+        assert np.array_equal(loaded.origin, truth.origin)
+        assert np.array_equal(loaded.src_lo, truth.src_lo)
+        assert loaded.origin.dtype == np.int32
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "truth-empty.npz"
+        GroundTruthRecords.empty().save_npz(path)
+        assert len(GroundTruthRecords.load_npz(path)) == 0
+
+    def test_origin_absent_means_unknown_emitter(self, tmp_path):
+        """An archive without the origin column (e.g. exported from plain
+        packet records) loads with every row marked unknown (-1)."""
+        truth = self._truth()
+        path = tmp_path / "no-origin.npz"
+        np.savez_compressed(
+            path, ts=truth.ts, src_hi=truth.src_hi, src_lo=truth.src_lo,
+            dst_hi=truth.dst_hi, dst_lo=truth.dst_lo,
+        )
+        loaded = GroundTruthRecords.load_npz(path)
+        assert len(loaded) == 2
+        assert np.array_equal(loaded.origin,
+                              np.full(2, -1, dtype=np.int32))
 
 
 class TestConnLog:
