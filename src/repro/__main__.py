@@ -18,9 +18,15 @@ invocation):
   per-day progress, session/honeyprefix lifecycle, detection summaries)
   to ``FILE`` (default ``journal.jsonl``);
 * ``--cache[=DIR]`` — reuse/store the scenario result in an on-disk cache
-  (default ``.cache``); ``--no-cache`` ignores any configured cache.
+  (default ``.cache``); ``--no-cache`` ignores any configured cache;
+* ``--checkpoint[=DIR]`` — save a resumable engine-state checkpoint every
+  ``--checkpoint-every`` days (default dir ``.checkpoints``); ``--resume``
+  picks up from the last checkpoint instead of starting at day zero.
 
-``experiment`` additionally takes ``--jobs N`` to render report sections
+``run`` additionally takes ``--jobs N`` (shard the day loop's agents
+across ``N`` worker processes) and ``--pipeline`` (overlap emission and
+dispatch on a second thread); both produce byte-identical results to a
+serial run.  ``experiment`` takes ``--jobs N`` to render report sections
 in ``N`` worker processes (the report bytes do not depend on N).
 """
 
@@ -46,6 +52,9 @@ DEFAULT_JOURNAL_PATH = "journal.jsonl"
 
 #: --cache without a directory uses this.
 DEFAULT_CACHE_DIR = ".cache"
+
+#: --checkpoint without a directory uses this.
+DEFAULT_CHECKPOINT_DIR = ".checkpoints"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -84,8 +93,26 @@ def _build_parser() -> argparse.ArgumentParser:
                             f"cache in DIR (default {DEFAULT_CACHE_DIR})")
         p.add_argument("--no-cache", action="store_true",
                        help="ignore any configured cache and simulate")
+        p.add_argument("--checkpoint", nargs="?",
+                       const=DEFAULT_CHECKPOINT_DIR, default=None,
+                       metavar="DIR",
+                       help="save a resumable checkpoint every "
+                            "--checkpoint-every days into DIR (default "
+                            f"{DEFAULT_CHECKPOINT_DIR})")
+        p.add_argument("--checkpoint-every", type=int, default=10,
+                       metavar="DAYS",
+                       help="checkpoint cadence in days (default 10)")
+        p.add_argument("--resume", action="store_true",
+                       help="resume from the last usable checkpoint in "
+                            "the --checkpoint directory")
 
     run_p = sub.add_parser("run", help="run the scenario, print headlines")
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard the day loop's agents across N worker "
+                            "processes (results are identical for every N)")
+    run_p.add_argument("--pipeline", action="store_true",
+                       help="overlap packet emission and dispatch on a "
+                            "second thread (serial mode only)")
     add_scenario_args(run_p)
 
     exp_p = sub.add_parser("experiment",
@@ -115,7 +142,14 @@ def _cache_dir(args):
 def _scenario(args) -> object:
     print(f"running scenario: {args.days} days, scale {args.scale}, "
           f"seed {args.seed} ...", file=sys.stderr)
-    return run_scenario(_config(args), cache_dir=_cache_dir(args))
+    return run_scenario(
+        _config(args), cache_dir=_cache_dir(args),
+        jobs=getattr(args, "jobs", 1) if args.command == "run" else 1,
+        pipeline=getattr(args, "pipeline", False),
+        checkpoint_dir=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
 
 
 def _emit_metrics(registry: MetricsRegistry, metrics_arg) -> None:

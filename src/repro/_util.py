@@ -33,6 +33,18 @@ def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def derive_rng(*key: int) -> np.random.Generator:
+    """Return a generator keyed by a tuple of non-negative integers.
+
+    Unlike :func:`spawn_rngs`, the derived stream depends only on the key
+    material — not on how much of any parent stream was consumed first.
+    Components use this for *decision streams* (e.g. "does scanner X react
+    to prefix P?") that must stay stable when unrelated code changes how
+    many draws it makes.
+    """
+    return np.random.default_rng(list(key))
+
+
 def spawn_rngs(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent child generators from ``rng``.
 

@@ -102,6 +102,36 @@ class PacketCapturer:
             for pkt in batch.iter_packets():
                 self._writer.write(pkt)
 
+    # -- chunk transfer (shard merge + checkpoint restore) -----------------
+
+    def mark(self) -> tuple[int, int]:
+        """Freeze any scalar tail and return the current chunk high-water
+        mark ``(chunks, truth_chunks)`` for a later :meth:`chunks_since`."""
+        self._flush_scalars()
+        return len(self._chunks), len(self._truth_chunks)
+
+    def chunks_since(self, mark: tuple[int, int]) -> tuple[list, list]:
+        """The (analysis, truth) chunks appended since ``mark`` — the
+        per-agent capture delta a shard worker ships to the parent."""
+        self._flush_scalars()
+        return list(self._chunks[mark[0]:]), list(self._truth_chunks[mark[1]:])
+
+    def extend_chunks(self, chunks, truth_chunks) -> None:
+        """Append transferred chunks in arrival order (the receiving side
+        of shard merging and checkpoint restore).  Does not advance the
+        capture metrics counter: transferred rows were counted where they
+        were captured."""
+        self._flush_scalars()
+        self._chunks.extend(chunks)
+        self._truth_chunks.extend(truth_chunks)
+
+    def reset_chunks(self) -> None:
+        """Drop all buffered chunks (a shard worker's memory bound: once a
+        day's deltas are shipped, the worker no longer needs them)."""
+        self._flush_scalars()
+        self._chunks.clear()
+        self._truth_chunks.clear()
+
     def to_truth(self):
         """Freeze the provenance sidecar into
         :class:`repro.analysis.groundtruth.GroundTruthRecords`.

@@ -9,7 +9,12 @@ data-parallel + artifact-cache tier:
   on-disk store of frozen scenario results (``--cache DIR``);
 * :mod:`repro.exec.parallel` — :func:`parallel_map`, the deterministic
   fan-out primitive shared with the jobs-aware experiment drivers
-  (``table4``/``fig7``/``fig8``/``fig10``).
+  (``table4``/``fig7``/``fig8``/``fig10``);
+* :mod:`repro.exec.shard` — :class:`ShardPool`, intra-scenario agent
+  sharding (``python -m repro run --jobs N``);
+* the checkpoint layer in :mod:`repro.exec.freeze` —
+  :func:`save_checkpoint`/:func:`load_checkpoint`, resumable engine-state
+  snapshots at day boundaries (``--checkpoint``/``--resume``).
 
 All three uphold one determinism contract: output bytes depend only on the
 configuration (seeds included), never on ``jobs``, worker identity, or
@@ -21,27 +26,44 @@ from repro.exec.cache import CACHE_SCHEMA_VERSION, ScenarioCache
 from repro.exec.freeze import (
     FrozenFabric,
     FrozenScenario,
+    ScenarioCheckpoint,
+    capture_checkpoint,
+    checkpoint_path,
     freeze_result,
     freeze_scenario,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
 )
-from repro.exec.parallel import parallel_map
+from repro.exec.parallel import parallel_map, process_context
 from repro.exec.pool import (
     UnknownExperimentError,
     partition_ids,
     resolve_ids,
     run_experiments,
 )
+from repro.exec.shard import ShardPool, ShardWorkerError, run_sharded_days
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "FrozenFabric",
     "FrozenScenario",
     "ScenarioCache",
+    "ScenarioCheckpoint",
+    "ShardPool",
+    "ShardWorkerError",
     "UnknownExperimentError",
+    "capture_checkpoint",
+    "checkpoint_path",
     "freeze_result",
     "freeze_scenario",
+    "load_checkpoint",
     "parallel_map",
     "partition_ids",
+    "process_context",
     "resolve_ids",
+    "restore_checkpoint",
     "run_experiments",
+    "run_sharded_days",
+    "save_checkpoint",
 ]

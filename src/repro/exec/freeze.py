@@ -24,7 +24,10 @@ contract the parallel executor and the scenario cache both build on.
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass, field
+from pathlib import Path
 
 
 @dataclass
@@ -88,3 +91,127 @@ def freeze_result(result):
         nta=result.nta, ntb=result.ntb, ntc=result.ntc,
         telemetry=result.telemetry, truth=dict(result.truth),
     )
+
+
+# -- engine-state checkpoints ----------------------------------------------
+#
+# A checkpoint is the *plan-only fast-forward* contract: it stores what a
+# resumed process cannot cheaply recompute (the captured chunks, dispatch
+# counters, and the journal records emitted so far) and deliberately omits
+# what it can (engine queue, RNG states, scanner sessions).  Resume
+# rebuilds the scenario from its config and replays the covered days'
+# draws without sampling packets — see ``PaperScenario.replay_day`` — so
+# the live state after restore is bit-for-bit what an uninterrupted run
+# would hold at the same day boundary.
+
+#: Bump when the checkpoint layout changes; mismatched files are ignored
+#: (the resume falls back to a fresh run rather than crashing).
+CHECKPOINT_PROTOCOL = 1
+
+
+@dataclass
+class ScenarioCheckpoint:
+    """Resumable state of a partially run scenario, at a day boundary."""
+
+    protocol: int
+    repro_version: str
+    config_hash: str
+    #: First day the resumed run still has to simulate.
+    next_day: int
+    #: ``(nta, ntb, ntc, live_dropped, unrouted)`` dispatch totals.
+    counters: tuple
+    #: telescope key -> (analysis chunks, truth chunks), in arrival order.
+    captures: dict
+    #: Every journal record emitted since the run started, as
+    #: ``(record_type, fields)`` pairs — replayed verbatim on resume so
+    #: the resumed journal is byte-identical to an uninterrupted one.
+    journal_records: list
+
+
+def _capturers(scenario) -> dict:
+    return {
+        "nta": scenario.telescope.capturer,
+        "ntb": scenario.ntb_capturer,
+        "ntc": scenario.ntc_capturer,
+    }
+
+
+def checkpoint_path(directory, config) -> Path:
+    """Where ``config``'s checkpoint lives: one file per config hash, so
+    concurrent runs of different configs never clobber each other."""
+    from repro.obs import config_hash
+
+    return Path(directory) / f"{config_hash(config)}.ckpt"
+
+
+def capture_checkpoint(scenario, next_day: int,
+                       journal_records) -> ScenarioCheckpoint:
+    """Snapshot a live scenario's resumable state at a day boundary."""
+    from repro import __version__
+    from repro.obs import config_hash
+
+    c = scenario.counters
+    return ScenarioCheckpoint(
+        protocol=CHECKPOINT_PROTOCOL,
+        repro_version=__version__,
+        config_hash=config_hash(scenario.config),
+        next_day=int(next_day),
+        counters=(c.nta, c.ntb, c.ntc, c.live_dropped, c.unrouted),
+        captures={
+            key: cap.chunks_since((0, 0))
+            for key, cap in _capturers(scenario).items()
+        },
+        journal_records=list(journal_records),
+    )
+
+
+def save_checkpoint(directory, checkpoint: ScenarioCheckpoint,
+                    config) -> Path:
+    """Atomically persist a checkpoint (write-then-rename, so a process
+    killed mid-write can never corrupt the previous good checkpoint)."""
+    path = checkpoint_path(directory, config)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".ckpt.tmp")
+    with open(tmp, "wb") as stream:
+        pickle.dump(checkpoint, stream, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(directory, config) -> ScenarioCheckpoint | None:
+    """Load ``config``'s checkpoint, or None when no usable one exists.
+
+    Missing, torn, stale-version, or wrong-protocol files all return
+    None — a resume then simply starts from day zero, which is always
+    correct, just slower.
+    """
+    from repro import __version__
+    from repro.obs import config_hash
+
+    path = checkpoint_path(directory, config)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as stream:
+            checkpoint = pickle.load(stream)
+    except Exception:
+        return None
+    if (not isinstance(checkpoint, ScenarioCheckpoint)
+            or checkpoint.protocol != CHECKPOINT_PROTOCOL
+            or checkpoint.repro_version != __version__
+            or checkpoint.config_hash != config_hash(config)):
+        return None
+    return checkpoint
+
+
+def restore_checkpoint(scenario, checkpoint: ScenarioCheckpoint) -> None:
+    """Load a checkpoint's captures and counters into a rebuilt scenario.
+
+    Complements the replay fast-forward: replay re-derives the live
+    engine/RNG/session state, this restores the accumulated outputs.
+    """
+    for key, cap in _capturers(scenario).items():
+        chunks, truth_chunks = checkpoint.captures[key]
+        cap.extend_chunks(chunks, truth_chunks)
+    c = scenario.counters
+    (c.nta, c.ntb, c.ntc, c.live_dropped, c.unrouted) = checkpoint.counters

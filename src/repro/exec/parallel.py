@@ -21,10 +21,26 @@ independent of ``jobs``.
 
 from __future__ import annotations
 
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
+
+
+def process_context():
+    """The multiprocessing context worker fan-out uses.
+
+    Prefers ``fork`` (the shard workers rebuild their world from the
+    config either way, but fork skips re-importing the package and starts
+    in milliseconds); falls back to the platform default where fork is
+    unavailable.  Centralized so every in-repo fan-out picks the same
+    start method.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
 
 
 def parallel_map(

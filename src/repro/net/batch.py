@@ -173,7 +173,17 @@ class PacketBatch:
     # -- masks -----------------------------------------------------------
 
     def mask_dst_in(self, prefix: IPv6Prefix) -> np.ndarray:
-        """Rows whose destination lies inside ``prefix``."""
+        """Rows whose destination lies inside ``prefix``.
+
+        Prefixes of length <= 64 (every routed telescope prefix) resolve
+        from the ``dst_hi`` column alone — one shift and one compare per
+        row — which is what lets dispatch fan a whole day's batch out
+        per-telescope without ever touching the low halves.
+        """
+        if 0 < prefix.length <= 64:
+            shift = np.uint64(64 - prefix.length)
+            want = np.uint64(((prefix.network >> 64) & _U64) >> shift)
+            return (self.dst_hi >> shift) == want
         hi, lo = mask_u64(self.dst_hi, self.dst_lo, prefix.length)
         want_hi = np.uint64((prefix.network >> 64) & _U64)
         want_lo = np.uint64(prefix.network & _U64)

@@ -27,6 +27,7 @@ from repro.obs.journal import (
     NULL_JOURNAL,
     NullJournal,
     RECORD_SCHEMAS,
+    RecordingJournal,
     RunManifest,
     config_hash,
     get_journal,
@@ -76,6 +77,7 @@ __all__ = [
     "NullRegistry",
     "NullTracer",
     "RECORD_SCHEMAS",
+    "RecordingJournal",
     "RunManifest",
     "Span",
     "StageTimer",

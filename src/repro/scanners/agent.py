@@ -223,6 +223,34 @@ class ScannerAgent:
             and day_end < s.batch.start + s.batch.duration + DAY
         ]
 
+    def replay_day(self, day_start: float, day_end: float) -> None:
+        """Fast-forward one day: advance streams without emitting packets.
+
+        Checkpoint resume rebuilds the scenario and replays the days
+        already covered by the checkpoint.  Replay must consume exactly
+        the draws the original day consumed from the agent's *main*
+        stream — ``allocator.new_session()`` (the per-session source
+        rotation), the per-session Poisson counts, and the per-day child
+        spawn inside :meth:`_day_plan` (spawning does not advance the
+        parent stream but does advance its spawn counter) — while
+        skipping the per-day child's own draws entirely: nothing else
+        ever reads that child, so not sampling packet contents leaves
+        every later stream untouched.  Session bookkeeping
+        (``packets_sent``, retirement) is kept in step so cancellation
+        clamps and retirement behave identically after resume.
+
+        Known, accepted drift: :attr:`packets_emitted` is advanced by the
+        *planned* counts, which can exceed the emitted count when a
+        fallback sampler under-delivers — no report or journal record
+        reads this attribute.
+        """
+        self.allocator.new_session()
+        plans, _pkt_rng = self._day_plan(day_start, day_end)
+        for session, n, _lo, _hi in plans:
+            session.packets_sent += n
+            self.packets_emitted += n
+        self._retire_sessions(day_end)
+
     def emit_day(self, day_start: float, day_end: float) -> list[Packet]:
         """Emit this day's probe packets across all active sessions.
 

@@ -199,6 +199,11 @@ def build_population(
     agents: list[ScannerAgent] = []
     scale = spec.volume_scale
     zone_feed = _zone_feed(fabric)
+    # Base key for per-(scanner, prefix) reaction decision streams.  Keyed
+    # on the ASN rather than construction draw order so that which
+    # announcements a scanner reacts to is pinned by (population seed, AS,
+    # prefix) alone — Fig. 10's sporadic bursts survive stream reshuffles.
+    decision_base = int(rng.integers(1 << 62))
 
     def _agent(identity: ScannerIdentity, strategies, prefix: IPv6Prefix,
                record: AsRecord | None = None) -> ScannerAgent:
@@ -206,6 +211,10 @@ def build_population(
             identity.asn, identity.as_name, identity.category,
             identity.country,
         ), prefix)
+        for strategy in strategies:
+            if (isinstance(strategy, BgpWatcher)
+                    and strategy.decision_seed is None):
+                strategy.decision_seed = decision_base + identity.asn
         agent = ScannerAgent(
             identity, strategies,
             rng=spawn_rngs(rng, 1)[0],

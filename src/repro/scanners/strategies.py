@@ -14,7 +14,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro._util import DAY, make_rng
+from repro._util import DAY, derive_rng, make_rng
 from repro.dns.resolver import Resolver
 from repro.dns.reverse import ReverseZone
 from repro.hitlist.categories import HitlistCategory
@@ -270,6 +270,16 @@ class BgpWatcher(Strategy):
     models finite scanning budgets: a light scanner picks up only a subset
     of new prefixes, which keeps source sets telescope-specific (the low
     Jaccard similarities of §5.1).
+
+    When ``decision_seed`` is given, the whether-and-how of each reaction
+    (the attention draw, reaction delay, and burst shape) comes from a
+    dedicated stream keyed on ``(decision_seed, prefix)`` via
+    :func:`repro._util.derive_rng` rather than the caller's generator.
+    Reactions are then a stable property of the scanner × prefix pair:
+    refactors that change how many draws the emission path makes cannot
+    re-roll which announcements a scanner noticed.  (PR 3's columnar
+    emission path silently re-rolled the sporadic-burst lottery this way
+    and flattened Fig. 10 for the pinned benchmark seed.)
     """
 
     def __init__(
@@ -283,6 +293,7 @@ class BgpWatcher(Strategy):
         min_collectors: int = 1,
         low_weight: float = 0.5,
         attention_probability: float = 1.0,
+        decision_seed: int | None = None,
     ):
         self.collectors = collectors
         self.profile = profile
@@ -293,7 +304,15 @@ class BgpWatcher(Strategy):
         self.min_collectors = min_collectors
         self.low_weight = low_weight
         self.attention_probability = attention_probability
+        self.decision_seed = decision_seed
         self._seen: set[IPv6Prefix] = set()
+
+    def _reaction_rng(self, prefix: IPv6Prefix,
+                      rng: np.random.Generator) -> np.random.Generator:
+        """The stream deciding this watcher's reaction to ``prefix``."""
+        if self.decision_seed is None:
+            return rng
+        return derive_rng(self.decision_seed, prefix.network, prefix.length)
 
     def poll(self, since: float, until: float,
              rng: np.random.Generator) -> list[ProbeBatch]:
@@ -306,17 +325,18 @@ class BgpWatcher(Strategy):
             self._seen.add(prefix)
             if self.collectors.visibility_count(prefix, until) < self.min_collectors:
                 continue
-            if rng.random() > self.attention_probability:
+            d_rng = self._reaction_rng(prefix, rng)
+            if d_rng.random() > self.attention_probability:
                 continue
-            start = visible_at + rng.exponential(self.reaction_delay)
+            start = visible_at + d_rng.exponential(self.reaction_delay)
             batches.append(ProbeBatch(
                 trigger="bgp",
                 start=start,
                 sampler=prefix_sampler(prefix, self.profile,
                                        low_weight=self.low_weight),
-                peak_rate=self.peak_rate * float(rng.uniform(0.5, 1.5)),
+                peak_rate=self.peak_rate * float(d_rng.uniform(0.5, 1.5)),
                 floor_rate=self.floor_rate,
-                decay_tau=self.decay_tau * float(rng.uniform(0.7, 1.3)),
+                decay_tau=self.decay_tau * float(d_rng.uniform(0.7, 1.3)),
                 subject_prefix=prefix,
             ))
         return batches

@@ -7,7 +7,7 @@ from repro.sim.engine import Engine, Event
 from repro.sim.fabric import InternetFabric
 from repro.sim.cdn import CdnVantage, CdnScannerSpec
 from repro.sim.scenario import PaperScenario, ScenarioConfig
-from repro.sim.runner import ScenarioResult, run_scenario
+from repro.sim.runner import ScenarioResult, SimulationAborted, run_scenario
 
 __all__ = [
     "Engine",
@@ -18,5 +18,6 @@ __all__ = [
     "PaperScenario",
     "ScenarioConfig",
     "ScenarioResult",
+    "SimulationAborted",
     "run_scenario",
 ]

@@ -12,8 +12,24 @@ from repro.analysis.asinfo import MetadataJoiner
 from repro.analysis.records import PacketRecords
 from repro.core.honeyprefix import Honeyprefix
 from repro.net.addr import IPv6Prefix
-from repro.obs import RunManifest, get_journal, get_registry, get_tracer
+from repro.obs import (
+    RecordingJournal,
+    RunManifest,
+    config_hash,
+    get_journal,
+    get_registry,
+    get_tracer,
+    set_journal,
+    use_journal,
+)
 from repro.sim.scenario import PaperScenario, ScenarioConfig
+
+
+class SimulationAborted(RuntimeError):
+    """Raised by ``run_scenario(abort_after_day=...)`` — the test hook
+    simulating a process killed mid-horizon.  Any state the run was asked
+    to persist (checkpoints, journal lines) is already on disk when this
+    raises, exactly as it would be at a real kill between day windows."""
 
 #: A /48-truncated address has its low 80 bits zeroed; prefixes whose
 #: network keeps any of those bits set can never equal a truncated net.
@@ -122,10 +138,22 @@ class ScenarioResult:
         return GroundTruthRecords.concat(list(self.truth.values()))
 
 
+#: Checkpoints (and the sharded path's day windows) land every this many
+#: days unless overridden.
+DEFAULT_CHECKPOINT_EVERY = 10
+
+
 def run_scenario(
     config: ScenarioConfig | None = None,
     progress: bool = False,
     cache_dir=None,
+    *,
+    jobs: int = 1,
+    pipeline: bool = False,
+    checkpoint_dir=None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = False,
+    abort_after_day: int | None = None,
 ) -> ScenarioResult:
     """Build, run, and bundle one full scenario.
 
@@ -144,50 +172,203 @@ def run_scenario(
     bundle.  The returned result renders every experiment byte-identically
     either way; the journal records ``cache_hit``/``cache_store`` so a
     warm run is auditable from its artifacts.
+
+    Execution modes (all byte-identical in records, counters, and journal
+    — the non-negotiable determinism contract):
+
+    * ``jobs > 1`` shards the day loop across that many replicated worker
+      processes (:mod:`repro.exec.shard`); requires the batch path.
+    * ``pipeline=True`` overlaps emission with dispatch on a second
+      thread (:class:`repro.sim.pipeline.DispatchPipeline`); serial-mode
+      only — the sharded path ignores it (workers already overlap).
+    * ``checkpoint_dir`` saves a resumable engine-state checkpoint every
+      ``checkpoint_every`` days; with ``resume=True`` a usable checkpoint
+      is loaded, the covered days are fast-forwarded without re-emitting
+      a single packet, and the journal records emitted before the
+      checkpoint are replayed verbatim into the active journal.
+    * ``abort_after_day=N`` raises :class:`SimulationAborted` once day N
+      has completed (sharded runs: once N's window has merged) — the test
+      hook for kill/resume equivalence.
     """
     config = config if config is not None else ScenarioConfig()
+    if jobs > 1 and not config.use_batch_path:
+        raise ValueError("sharded runs (jobs > 1) require use_batch_path")
+    registry = get_registry()
+    tracer = get_tracer()
+
+    checkpoint = None
+    if resume and checkpoint_dir is not None:
+        from repro.exec.freeze import load_checkpoint
+
+        checkpoint = load_checkpoint(checkpoint_dir, config)
+
+    # With checkpointing on, wrap the active journal in a recorder for the
+    # duration of the run: checkpoints then carry every record emitted so
+    # far, and a resumed run replays them for a byte-identical journal.
+    previous_journal = None
+    if checkpoint_dir is not None:
+        recorder = RecordingJournal(inner=get_journal())
+        previous_journal = set_journal(recorder)
+    try:
+        journal = get_journal()
+        cache = None
+        if checkpoint is None:
+            # The manifest opens the journal whether the run simulates or
+            # loads from cache: a warm run stays auditable from artifacts.
+            journal.emit(
+                "run_manifest",
+                **RunManifest.from_config(config).to_record_fields())
+            if cache_dir is not None:
+                from repro.exec.cache import ScenarioCache
+
+                cache = ScenarioCache(cache_dir)
+                with tracer.span("run_scenario.cached",
+                                 days=config.duration_days,
+                                 seed=config.seed):
+                    cached = cache.load(config)
+                if cached is not None:
+                    return cached
+        else:
+            # Resuming mid-run: the checkpoint's records (the original
+            # manifest included) are the journal's opening lines, and the
+            # cache is only consulted for storage at the end.
+            journal.replay(checkpoint.journal_records)
+            if cache_dir is not None:
+                from repro.exec.cache import ScenarioCache
+
+                cache = ScenarioCache(cache_dir)
+        start_day = checkpoint.next_day if checkpoint is not None else 0
+
+        with tracer.span("run_scenario", days=config.duration_days,
+                         seed=config.seed):
+            scenario = _simulate(
+                config, checkpoint, start_day, progress=progress, jobs=jobs,
+                pipeline=pipeline, checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                abort_after_day=abort_after_day,
+            )
+            with registry.timer("scenario.freeze"), \
+                    tracer.span("scenario.freeze"):
+                nta = scenario.telescope.capturer.to_records()
+                ntb = scenario.ntb_capturer.to_records()
+                ntc = scenario.ntc_capturer.to_records()
+                truth = {
+                    "NT-A": scenario.telescope.capturer.to_truth(),
+                    "NT-B": scenario.ntb_capturer.to_truth(),
+                    "NT-C": scenario.ntc_capturer.to_truth(),
+                }
+            journal.emit("run_end", days=config.duration_days,
+                         packets=len(nta) + len(ntb) + len(ntc))
+        registry.gauge("scenario.records.nta").set(len(nta))
+        registry.gauge("scenario.records.ntb").set(len(ntb))
+        registry.gauge("scenario.records.ntc").set(len(ntc))
+        result = ScenarioResult(
+            scenario=scenario, nta=nta, ntb=ntb, ntc=ntc,
+            telemetry=registry.snapshot() if registry.enabled else {},
+            truth=truth,
+        )
+        if cache is not None:
+            cache.store(result)
+        return result
+    finally:
+        if checkpoint_dir is not None:
+            set_journal(previous_journal)
+
+
+def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
+              checkpoint_dir, checkpoint_every, abort_after_day):
+    """Build (or rebuild-and-fast-forward) the scenario and run its days
+    in the requested execution mode; returns the run scenario."""
     registry = get_registry()
     tracer = get_tracer()
     journal = get_journal()
-    # The manifest opens the journal whether the run simulates or loads
-    # from cache: a warm run stays auditable from its artifacts alone.
-    journal.emit("run_manifest",
-                 **RunManifest.from_config(config).to_record_fields())
-    cache = None
-    if cache_dir is not None:
-        from repro.exec.cache import ScenarioCache
+    duration = config.duration_days
+    chash = config_hash(config)
 
-        cache = ScenarioCache(cache_dir)
-        with tracer.span("run_scenario.cached", days=config.duration_days,
-                         seed=config.seed):
-            cached = cache.load(config)
-        if cached is not None:
-            return cached
-    with tracer.span("run_scenario", days=config.duration_days,
-                     seed=config.seed):
-        with registry.timer("scenario.build"), tracer.span("scenario.build"):
-            scenario = PaperScenario(config)
-        with registry.timer("scenario.run"), tracer.span("scenario.run"):
-            scenario.run(progress=progress)
-        with registry.timer("scenario.freeze"), tracer.span("scenario.freeze"):
-            nta = scenario.telescope.capturer.to_records()
-            ntb = scenario.ntb_capturer.to_records()
-            ntc = scenario.ntc_capturer.to_records()
-            truth = {
-                "NT-A": scenario.telescope.capturer.to_truth(),
-                "NT-B": scenario.ntb_capturer.to_truth(),
-                "NT-C": scenario.ntc_capturer.to_truth(),
-            }
-        journal.emit("run_end", days=config.duration_days,
-                     packets=len(nta) + len(ntb) + len(ntc))
-    registry.gauge("scenario.records.nta").set(len(nta))
-    registry.gauge("scenario.records.ntb").set(len(ntb))
-    registry.gauge("scenario.records.ntc").set(len(ntc))
-    result = ScenarioResult(
-        scenario=scenario, nta=nta, ntb=ntb, ntc=ntc,
-        telemetry=registry.snapshot() if registry.enabled else {},
-        truth=truth,
-    )
-    if cache is not None:
-        cache.store(result)
-    return result
+    def maybe_checkpoint(scenario, next_day):
+        """Save at the cadence boundary; the ``checkpoint`` record goes
+        out *before* the file is written so the checkpoint carries its own
+        record and a resumed journal replays it in place."""
+        if (checkpoint_dir is not None and next_day < duration
+                and next_day % max(1, checkpoint_every) == 0):
+            from repro.exec.freeze import capture_checkpoint, save_checkpoint
+
+            journal.emit("checkpoint", day=next_day, config_hash=chash)
+            save_checkpoint(
+                checkpoint_dir,
+                capture_checkpoint(scenario, next_day,
+                                   journal.plain_records()),
+                config,
+            )
+
+    if jobs > 1:
+        from repro.exec.freeze import restore_checkpoint
+        from repro.exec.shard import ShardPool, run_sharded_days
+
+        # Spawn first: worker replicas build while the parent builds.
+        pool = ShardPool(config, jobs, start_day)
+        try:
+            with registry.timer("scenario.build"), \
+                    tracer.span("scenario.build"):
+                scenario = PaperScenario(config)
+                if checkpoint is not None:
+                    restore_checkpoint(scenario, checkpoint)
+                if start_day:
+                    with use_journal(None):
+                        for day in range(start_day):
+                            scenario.replay_day(day, agents=False)
+
+            def on_window_end(next_day):
+                maybe_checkpoint(scenario, next_day)
+                if abort_after_day is not None and next_day > abort_after_day:
+                    raise SimulationAborted(
+                        f"aborted after day window ending at {next_day}")
+
+            with registry.timer("scenario.run"), \
+                    tracer.span("scenario.run", jobs=jobs):
+                run_sharded_days(
+                    scenario, pool, start_day=start_day, duration=duration,
+                    window_days=max(1, checkpoint_every), progress=progress,
+                    on_window_end=on_window_end,
+                )
+        finally:
+            pool.close()
+        return scenario
+
+    with registry.timer("scenario.build"), tracer.span("scenario.build"):
+        scenario = PaperScenario(config)
+        if checkpoint is not None:
+            from repro.exec.freeze import restore_checkpoint
+
+            restore_checkpoint(scenario, checkpoint)
+        if start_day:
+            with use_journal(None):
+                for day in range(start_day):
+                    scenario.replay_day(day)
+    with registry.timer("scenario.run"), tracer.span("scenario.run"):
+        pipe = None
+        if pipeline:
+            from repro.sim.pipeline import DispatchPipeline
+
+            pipe = DispatchPipeline(scenario)
+        try:
+            for day in range(start_day, duration):
+                emitted = (pipe.run_day(day) if pipe is not None
+                           else scenario.run_day(day))
+                if progress and day % 10 == 0:
+                    counters = scenario.counters
+                    print(f"day {day}: {emitted} packets "
+                          f"(NT-A {counters.nta}, NT-C {counters.ntc})")
+                next_day = day + 1
+                if pipe is not None and checkpoint_dir is not None:
+                    # Captures must be settled before they are snapshot.
+                    pipe.drain()
+                maybe_checkpoint(scenario, next_day)
+                if abort_after_day is not None and day >= abort_after_day:
+                    if pipe is not None:
+                        pipe.drain()
+                    raise SimulationAborted(f"aborted after day {day}")
+        finally:
+            if pipe is not None:
+                pipe.close()
+    return scenario

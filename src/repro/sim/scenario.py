@@ -489,9 +489,22 @@ class PaperScenario:
             return
         with get_tracer().span("scenario.dispatch_batch",
                                packets=len(batch)):
-            self._dispatch_batch_impl(batch)
+            for handler, sub in self.dispatch_parts(batch):
+                handler(sub)
 
-    def _dispatch_batch_impl(self, batch: PacketBatch) -> None:
+    def dispatch_parts(
+        self, batch: PacketBatch,
+    ) -> list[tuple]:
+        """Partition one batch into per-telescope sub-batches.
+
+        Computes every membership mask over the shared ``dst_hi`` column,
+        updates :class:`DispatchCounters` from the mask sums, and returns
+        ``(handler, sub_batch)`` pairs in fixed NT-A, NT-B, NT-C order —
+        the fan-out stage the day pipeline's dispatcher consumes.
+        Counters are settled *here*, before any handler runs, so emitted
+        accounting never depends on how (or on which thread) the parts
+        are delivered.
+        """
         nta = batch.mask_dst_in(self.nta_covering)
         shift = np.uint64(16)
         hi48 = (batch.dst_hi >> shift) << shift
@@ -504,14 +517,56 @@ class PaperScenario:
         self.counters.ntb += int(ntb.sum())
         self.counters.ntc += int(ntc.sum())
         self.counters.unrouted += int((~(nta | live | ntb | ntc)).sum())
+        parts = []
         if nta.any():
-            self.telescope.handle_batch(batch.select(nta))
+            parts.append((self.telescope.handle_batch, batch.select(nta)))
         if ntb.any():
-            self.ntb.handle_batch(batch.select(ntb))
+            parts.append((self.ntb.handle_batch, batch.select(ntb)))
         if ntc.any():
-            self.ntc.handle_batch(batch.select(ntc))
+            parts.append((self.ntc.handle_batch, batch.select(ntc)))
+        return parts
 
     # -- the daily loop -------------------------------------------------------------
+
+    def begin_day(self, day: int) -> tuple[float, float]:
+        """Advance the engine through day ``day``'s events.
+
+        Returns the ``(day_start, day_end)`` window.  Every execution mode
+        — serial, replay fast-forward, and each shard-worker replica —
+        opens its day here, so all replicas process the identical event
+        sequence (the no-op boundary tick included) and their
+        ``engine.processed`` counts stay merge-comparable.
+        """
+        day_start = day * DAY
+        day_end = (day + 1) * DAY
+        # A no-op day-boundary tick: keeps the engine's event-loop profile
+        # populated (and day boundaries visible in it) even on short runs
+        # where no deployment or hitlist event fires.  Touches no RNG, so
+        # determinism is unaffected.
+        self.engine.schedule(day_end, lambda: None, label="day boundary")
+        self.engine.run_until(day_end)
+        return day_start, day_end
+
+    def run_agent_day(self, agent: ScannerAgent, day_start: float,
+                      day_end: float) -> int:
+        """Poll, emit, and dispatch one agent's day; returns its emitted
+        count.  Reads ``self._last_poll`` (advanced once per day, after
+        every agent ran) so the poll window is identical no matter which
+        process or shard drives the agent."""
+        registry = get_registry()
+        agent.poll_feeds(self._last_poll, day_end)
+        if self.config.use_batch_path:
+            with registry.timer("scenario.emit"):
+                batch = agent.emit_day_batch(day_start, day_end)
+            with registry.timer("scenario.dispatch"):
+                self.dispatch_batch(batch)
+            return len(batch)
+        with registry.timer("scenario.emit"):
+            packets = agent.emit_day(day_start, day_end)
+        with registry.timer("scenario.dispatch"):
+            for pkt in packets:
+                self.dispatch(pkt)
+        return len(packets)
 
     def run_day(self, day: int) -> int:
         """Simulate day ``day``; returns the number of packets dispatched."""
@@ -523,34 +578,36 @@ class PaperScenario:
         return emitted
 
     def _run_day_impl(self, day: int) -> int:
-        day_start = day * DAY
-        day_end = (day + 1) * DAY
-        # A no-op day-boundary tick: keeps the engine's event-loop profile
-        # populated (and day boundaries visible in it) even on short runs
-        # where no deployment or hitlist event fires.  Touches no RNG, so
-        # determinism is unaffected.
-        self.engine.schedule(day_end, lambda: None, label="day boundary")
-        self.engine.run_until(day_end)
-        registry = get_registry()
-        use_batch = self.config.use_batch_path
+        day_start, day_end = self.begin_day(day)
         emitted = 0
         for agent in self.agents:
-            agent.poll_feeds(self._last_poll, day_end)
-            if use_batch:
-                with registry.timer("scenario.emit"):
-                    batch = agent.emit_day_batch(day_start, day_end)
-                with registry.timer("scenario.dispatch"):
-                    self.dispatch_batch(batch)
-                emitted += len(batch)
-            else:
-                with registry.timer("scenario.emit"):
-                    packets = agent.emit_day(day_start, day_end)
-                with registry.timer("scenario.dispatch"):
-                    for pkt in packets:
-                        self.dispatch(pkt)
-                emitted += len(packets)
+            emitted += self.run_agent_day(agent, day_start, day_end)
         self._last_poll = day_end
         return emitted
+
+    def replay_day(self, day: int, shard_index: int = 0,
+                   shard_count: int = 1, agents: bool = True) -> None:
+        """Fast-forward one day without emitting or dispatching packets.
+
+        Runs the engine exactly as :meth:`run_day` does, then replays the
+        selected agents' polls and per-day plan draws
+        (:meth:`~repro.scanners.agent.ScannerAgent.replay_day`), leaving
+        every RNG stream, session list, and engine structure in the state
+        a real run of this day would have left them — the checkpoint
+        resume path.  Shard workers replay only their own agents
+        (``agent_index % shard_count == shard_index``); the merging
+        parent, which never polls, passes ``agents=False`` to advance the
+        engine alone.  Callers suppress the journal around replay
+        (``use_journal(None)``): every record this day would emit is
+        already carried by the checkpoint.
+        """
+        day_start, day_end = self.begin_day(day)
+        if agents:
+            for idx in range(shard_index, len(self.agents), shard_count):
+                agent = self.agents[idx]
+                agent.poll_feeds(self._last_poll, day_end)
+                agent.replay_day(day_start, day_end)
+        self._last_poll = day_end
 
     def run(self, progress: bool = False) -> None:
         """Run the whole configured window."""

@@ -113,6 +113,34 @@ class TestMarginals:
             fb = float((rb.proto == proto).mean())
             assert abs(fa - fb) < 0.05
 
+    def test_hyper_specific_per_length_counts_identical(self, runs):
+        """Fig 10's marginal is *exact* across paths: hyper-specific
+        sessions draw their Poisson counts from the shared count stream
+        and target only addresses inside the announced prefix, so the
+        per-prefix-length capture counts match packet for packet.  This
+        is the regression guard for the fig10 targeting path — a re-rolled
+        decision stream or a batch sampler that leaks destinations outside
+        the announced prefix shows up here before it shows up in the
+        pinned results."""
+        scalar, _, batch, _ = runs
+        ra = scalar.telescope.capturer.to_records()
+        rb = batch.telescope.capturer.to_records()
+        counts = {}
+        for length in range(49, 65):
+            name = f"H_Specific/{length}"
+            assert name in scalar.honeyprefixes, name
+            prefix = scalar.honeyprefixes[name].prefix
+            counts[length] = (
+                int(np.count_nonzero(ra.mask_dst_in(prefix))),
+                int(np.count_nonzero(rb.mask_dst_in(prefix))),
+            )
+        assert {k: a for k, (a, _) in counts.items()} \
+            == {k: b for k, (_, b) in counts.items()}
+        # The window past specific_start_day is long enough that every
+        # length actually received traffic — an all-zero marginal would
+        # pass the equality above while testing nothing.
+        assert all(a > 0 for a, _ in counts.values())
+
     def test_source_48_concentration_matches(self, runs):
         """Fig 9's shape survives the fast path: the share of packets from
         the busiest /48 source prefix is path-independent."""

@@ -1,0 +1,132 @@
+"""Checkpoint/resume equivalence: a run killed mid-horizon and resumed
+must be byte-identical — journal, capture records, counters, ground
+truth — to one that ran uninterrupted.
+
+The kill is simulated with ``run_scenario(abort_after_day=...)``, which
+raises :class:`SimulationAborted` at the same point a real SIGKILL
+between day windows would land: the last cadence checkpoint is on disk,
+nothing after it is.  The uninterrupted baseline also runs *with*
+checkpointing enabled so both journals carry the same ``checkpoint``
+records.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exec.freeze import load_checkpoint
+from repro.obs import Journal, use_journal
+from repro.sim import ScenarioConfig, SimulationAborted, run_scenario
+
+DAYS = 12
+CADENCE = 4
+
+COLUMNS = ("ts", "src_hi", "src_lo", "dst_hi", "dst_lo",
+           "proto", "sport", "dport")
+
+
+def _config():
+    return ScenarioConfig(seed=19, duration_days=DAYS, volume_scale=1e-4,
+                          n_tail=20, phase1_day=2, phase2_day=4,
+                          phase3_day=6, specific_start_day=7,
+                          withdraw_after_days=5)
+
+
+def _run(checkpoint_dir, **kwargs):
+    """One journaled run; returns (result, journal text)."""
+    buffer = io.StringIO()
+    with use_journal(Journal(buffer)):
+        result = run_scenario(_config(), checkpoint_dir=checkpoint_dir,
+                              checkpoint_every=CADENCE, **kwargs)
+    return result, buffer.getvalue()
+
+
+def _assert_identical(a, b):
+    for name in ("nta", "ntb", "ntc"):
+        ra, rb = getattr(a, name), getattr(b, name)
+        assert len(ra) == len(rb), name
+        for column in COLUMNS:
+            assert np.array_equal(getattr(ra, column),
+                                  getattr(rb, column)), (name, column)
+    for name, ta in a.truth.items():
+        tb = b.truth[name]
+        assert np.array_equal(ta.origin, tb.origin), name
+        assert np.array_equal(ta.ts, tb.ts), name
+    ca, cb = a.scenario.counters, b.scenario.counters
+    assert (ca.nta, ca.ntb, ca.ntc, ca.live_dropped, ca.unrouted) \
+        == (cb.nta, cb.ntb, cb.ntc, cb.live_dropped, cb.unrouted)
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Uninterrupted run with checkpointing on — the golden bytes."""
+    return _run(tmp_path_factory.mktemp("ckpt-base"))
+
+
+class TestAbort:
+    def test_abort_raises_after_the_named_day(self, tmp_path):
+        with pytest.raises(SimulationAborted):
+            _run(tmp_path, abort_after_day=5)
+
+    def test_abort_leaves_the_cadence_checkpoint(self, tmp_path):
+        with pytest.raises(SimulationAborted):
+            _run(tmp_path, abort_after_day=5)
+        checkpoint = load_checkpoint(tmp_path, _config())
+        assert checkpoint is not None
+        # day 5 completed, so the last cadence boundary <= 6 is day 4.
+        assert checkpoint.next_day == CADENCE
+        assert checkpoint.journal_records[0][0] == "run_manifest"
+        assert checkpoint.journal_records[-1][0] == "checkpoint"
+
+
+class TestResumeSerial:
+    def test_resumed_equals_uninterrupted(self, baseline, tmp_path):
+        base_result, base_journal = baseline
+        with pytest.raises(SimulationAborted):
+            _run(tmp_path, abort_after_day=5)
+        resumed, journal = _run(tmp_path, resume=True)
+        _assert_identical(base_result, resumed)
+        assert journal == base_journal
+
+    def test_resume_without_checkpoint_runs_fresh(self, baseline, tmp_path):
+        base_result, base_journal = baseline
+        result, journal = _run(tmp_path, resume=True)
+        _assert_identical(base_result, result)
+        assert journal == base_journal
+
+    def test_stale_checkpoint_is_ignored(self, baseline, tmp_path):
+        """A checkpoint for a *different* config must not be loaded."""
+        base_result, base_journal = baseline
+        other = ScenarioConfig(seed=23, duration_days=DAYS,
+                               volume_scale=1e-4, n_tail=20)
+        buffer = io.StringIO()
+        with use_journal(Journal(buffer)):
+            with pytest.raises(SimulationAborted):
+                run_scenario(other, checkpoint_dir=tmp_path,
+                             checkpoint_every=CADENCE, abort_after_day=5)
+        assert load_checkpoint(tmp_path, _config()) is None
+        result, journal = _run(tmp_path, resume=True)
+        _assert_identical(base_result, result)
+        assert journal == base_journal
+
+
+class TestResumeSharded:
+    def test_sharded_abort_resume_equals_uninterrupted(self, baseline,
+                                                       tmp_path):
+        base_result, base_journal = baseline
+        with pytest.raises(SimulationAborted):
+            _run(tmp_path, jobs=2, abort_after_day=5)
+        resumed, journal = _run(tmp_path, jobs=2, resume=True)
+        _assert_identical(base_result, resumed)
+        assert journal == base_journal
+
+    def test_cross_mode_resume(self, baseline, tmp_path):
+        """A checkpoint written by a sharded run resumes serially (and the
+        bytes still match): checkpoints carry no execution-mode state."""
+        base_result, base_journal = baseline
+        with pytest.raises(SimulationAborted):
+            _run(tmp_path, jobs=2, abort_after_day=5)
+        resumed, journal = _run(tmp_path, resume=True)
+        _assert_identical(base_result, resumed)
+        assert journal == base_journal
