@@ -4,7 +4,13 @@ Subcommands:
 
 * ``list`` — show the available experiments,
 * ``run`` — run the full scenario and print the headline tables,
-* ``experiment <id> [...]`` — regenerate specific tables/figures.
+* ``experiment <id> [...]`` — regenerate specific tables/figures,
+* ``serve`` — run the multi-tenant scenario service: an asyncio HTTP API
+  where clients POST a ``ScenarioConfig`` JSON to ``/runs``, identical
+  configs dedupe onto one in-flight run, warm configs are served from the
+  scenario cache, progress streams as Server-Sent Events, and
+  ``/metrics``/``/traces`` are the ops surface (see
+  ``docs/ARCHITECTURE.md``, "Scenario service").
 
 Options shared by ``run``/``experiment``: ``--days``, ``--scale``,
 ``--seed``, ``--tail``, and the observability trio (composable in one
@@ -125,6 +131,38 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="render report sections in N worker processes "
                             "(output is identical for every N)")
     add_scenario_args(exp_p)
+
+    serve_p = sub.add_parser(
+        "serve", help="serve scenario runs over HTTP (multi-tenant API)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="TCP port (default 8642; 0 picks a free one)")
+    serve_p.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                         help="scenario cache directory backing the service "
+                              f"(default {DEFAULT_CACHE_DIR})")
+    serve_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes executing cold runs")
+    serve_p.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                         help="max pending runs before POSTs get 503 "
+                              "(default 32)")
+    serve_p.add_argument("--cache-budget", type=int, default=None,
+                         metavar="BYTES",
+                         help="evict least-recently-used unpinned entries "
+                              "beyond this many bytes (default: no budget)")
+    serve_p.add_argument("--journals", default=None, metavar="DIR",
+                         help="run-journal directory (default "
+                              "<cache>/journals)")
+    serve_p.add_argument("--checkpoint", nargs="?",
+                         const=DEFAULT_CHECKPOINT_DIR, default=None,
+                         metavar="DIR",
+                         help="checkpoint in-flight runs every "
+                              "--checkpoint-every days so a killed service "
+                              "resumes instead of recomputing (default dir "
+                              f"{DEFAULT_CHECKPOINT_DIR})")
+    serve_p.add_argument("--checkpoint-every", type=int, default=10,
+                         metavar="DAYS", help="checkpoint cadence "
+                         "(default 10)")
     return parser
 
 
@@ -170,6 +208,42 @@ def _emit_trace(tracer: Tracer, trace_arg) -> None:
         print(f"trace written to {trace_arg}", file=sys.stderr)
 
 
+def _serve(args) -> int:
+    """Run the scenario service until SIGINT/SIGTERM, then drain."""
+    import asyncio
+    import signal
+
+    from repro.service import ScenarioServer, ScenarioService
+
+    service = ScenarioService(
+        args.cache, jobs=args.jobs, queue_limit=args.queue_limit,
+        max_cache_bytes=args.cache_budget, journals_dir=args.journals,
+        checkpoint_dir=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server = ScenarioServer(service, host=args.host, port=args.port)
+
+    async def amain() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.request_stop)
+        task = asyncio.ensure_future(server.serve_async())
+        # Announce only once the socket is bound (port 0 resolves here).
+        while not server._started.is_set():
+            await asyncio.sleep(0.01)
+        print(f"scenario service on http://{args.host}:{server.port} "
+              f"(cache {args.cache}, {args.jobs} worker(s), "
+              f"queue limit {args.queue_limit})", file=sys.stderr, flush=True)
+        await task
+
+    try:
+        asyncio.run(amain())
+    finally:
+        print("draining in-flight runs ...", file=sys.stderr, flush=True)
+        service.close(drain=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -192,6 +266,9 @@ def main(argv: list[str] | None = None) -> int:
             if needs_result:
                 print(describe(key))
         return 0
+
+    if args.command == "serve":
+        return _serve(args)
 
     # Install the observability layers before the scenario is built:
     # components bind their counters at construction time (tracer and

@@ -22,7 +22,12 @@ cache state.  See the "Parallel execution & scenario cache" section of
 ``docs/ARCHITECTURE.md``.
 """
 
-from repro.exec.cache import CACHE_SCHEMA_VERSION, ScenarioCache
+from repro.exec.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheEntryInfo,
+    PINS_FILE,
+    ScenarioCache,
+)
 from repro.exec.freeze import (
     FrozenFabric,
     FrozenScenario,
@@ -46,6 +51,8 @@ from repro.exec.shard import ShardPool, ShardWorkerError, run_sharded_days
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CacheEntryInfo",
+    "PINS_FILE",
     "FrozenFabric",
     "FrozenScenario",
     "ScenarioCache",

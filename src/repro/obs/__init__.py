@@ -24,6 +24,7 @@ from repro.obs.journal import (
     JOURNAL_SCHEMA_VERSION,
     Journal,
     JournalError,
+    JournalTail,
     NULL_JOURNAL,
     NullJournal,
     RECORD_SCHEMAS,
@@ -34,6 +35,7 @@ from repro.obs.journal import (
     load_manifest,
     read_journal,
     set_journal,
+    tail_journal,
     use_journal,
 )
 from repro.obs.registry import (
@@ -67,6 +69,7 @@ __all__ = [
     "JOURNAL_SCHEMA_VERSION",
     "Journal",
     "JournalError",
+    "JournalTail",
     "MetricsRegistry",
     "NULL_JOURNAL",
     "NULL_REGISTRY",
@@ -92,6 +95,7 @@ __all__ = [
     "set_journal",
     "set_registry",
     "set_tracer",
+    "tail_journal",
     "use_journal",
     "use_registry",
     "use_tracer",

@@ -131,7 +131,10 @@ class Journal:
             self._stream: IO[str] = path_or_stream  # type: ignore[assignment]
             self._owns_stream = False
         else:
-            self._stream = open(path_or_stream, "w")
+            # Line-buffered: every record reaches the file as soon as it is
+            # emitted, so another process (the scenario service's progress
+            # stream) can tail a journal that is still being written.
+            self._stream = open(path_or_stream, "w", buffering=1)
             self._owns_stream = True
         self.records_written = 0
 
@@ -326,3 +329,97 @@ def load_manifest(path) -> RunManifest:
         if record["type"] == "run_manifest":
             return RunManifest.from_record(record)
     raise JournalError(f"{path} contains no run_manifest record")
+
+
+# -- tailing ---------------------------------------------------------------
+
+class JournalTail:
+    """Incremental reader of a journal another process is still writing.
+
+    Each :meth:`poll` returns the records completed since the last poll.
+    Only newline-terminated lines are parsed: the unterminated tail of the
+    file — the torn final record of a writer killed mid-write — stays
+    buffered until its newline arrives, and is simply never yielded if the
+    writer is dead.  A *complete* line that fails to parse or validate is
+    real corruption and raises :class:`JournalError` (mirroring
+    :func:`read_journal`'s strictness away from the crash point).
+
+    The tail reopens the file on every poll, so it follows a journal that
+    a resumed run rewrote from scratch: if the file shrank (truncation for
+    replay), the offset resets and records stream again from the top —
+    the resumed journal replays its full history, so re-reading from zero
+    is the byte-compatible continuation.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self.offset = 0
+        self.records_read = 0
+
+    def poll(self) -> list[dict]:
+        """Validated records newly completed since the previous poll."""
+        try:
+            with open(self.path, "rb") as stream:
+                stream.seek(0, 2)
+                size = stream.tell()
+                if size < self.offset:
+                    # Truncated and rewritten (a resumed run replaying its
+                    # history): restart from the top.
+                    self.offset = 0
+                    self.records_read = 0
+                stream.seek(self.offset)
+                payload = stream.read()
+        except FileNotFoundError:
+            return []
+        complete, newline, _partial = payload.rpartition(b"\n")
+        if not newline:
+            return []
+        self.offset += len(complete) + 1
+        records = []
+        for line in complete.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                parsed = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise JournalError(
+                    f"corrupt journal record in {self.path}: {error}"
+                ) from error
+            records.append(validate_record(parsed))
+        self.records_read += len(records)
+        return records
+
+
+def tail_journal(path, *, follow: bool = False, poll_interval: float = 0.05,
+                 timeout: float | None = None, stop=None,
+                 end_types: tuple = ("run_end",)) -> Iterator[dict]:
+    """Yield journal records as they land in ``path``.
+
+    Without ``follow`` this yields what is currently complete and returns.
+    With ``follow`` it keeps polling every ``poll_interval`` seconds until
+    a record whose type is in ``end_types`` goes by (``run_end``, the
+    run's closing line, by default — pass ``()`` when trailing records
+    like ``cache_store`` may follow it), the optional ``stop()`` callable
+    goes truthy (poll once more, then stop — so records written before
+    the stop signal are never lost), or ``timeout`` seconds elapse.
+    """
+    import time as _time
+
+    tail = JournalTail(path)
+    if not follow:
+        yield from tail.poll()
+        return
+    deadline = None if timeout is None else _time.monotonic() + timeout
+    while True:
+        stopping = stop() if stop is not None else False
+        drained = True
+        for record in tail.poll():
+            drained = False
+            yield record
+            if record["type"] in end_types:
+                return
+        if stopping and drained:
+            return
+        if deadline is not None and _time.monotonic() >= deadline:
+            return
+        _time.sleep(poll_interval)

@@ -1,0 +1,52 @@
+"""The scenario service: a multi-tenant async API over the scenario cache.
+
+The simulator as a queryable measurement platform (ROADMAP open item 1):
+clients POST a :class:`~repro.sim.scenario.ScenarioConfig`, identical
+configs dedupe onto one in-flight run keyed by the config hash, warm
+configs are served straight from the content-addressed
+:class:`~repro.exec.cache.ScenarioCache`, cold runs are scheduled on a
+bounded process pool, progress streams from the run journal, and
+``/metrics`` + ``/traces`` expose the :mod:`repro.obs` registries as the
+ops surface.
+
+* :mod:`repro.service.core` — :class:`ScenarioService`, the transport-
+  agnostic, thread-safe run registry (dedupe, admission, warm tier,
+  cache lifecycle, graceful shutdown);
+* :mod:`repro.service.http` — :class:`ScenarioServer`, the stdlib
+  asyncio HTTP/1.1 front end (``python -m repro serve``);
+* :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
+  stdlib client (tests, load generator, CI smoke).
+
+Headline guarantee: a result fetched through the service is byte-
+identical to a direct ``run_scenario(config)`` for the same config —
+the service only ever serves verified cache entries produced by
+``run_scenario`` itself.
+"""
+
+from repro.service.client import RunFailed, ServiceClient, ServiceClientError
+from repro.service.core import (
+    AdmissionFull,
+    ResultUnavailable,
+    RunState,
+    ScenarioService,
+    ServiceClosed,
+    ServiceError,
+    UnknownRun,
+    coerce_config,
+)
+from repro.service.http import ScenarioServer
+
+__all__ = [
+    "AdmissionFull",
+    "ResultUnavailable",
+    "RunFailed",
+    "RunState",
+    "ScenarioServer",
+    "ScenarioService",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceClosed",
+    "ServiceError",
+    "UnknownRun",
+    "coerce_config",
+]

@@ -1,0 +1,201 @@
+"""Concurrency and lifecycle tests for the transport-agnostic service core.
+
+The dedupe contract under test is the acceptance criterion: N clients
+posting one config concurrently produce **exactly one** underlying run —
+one ``run_end`` in the journal, ``scenario.cache.stores == 1`` in the
+merged telemetry — and every client reads byte-identical results.
+"""
+
+import threading
+
+import pytest
+
+from repro.exec.cache import ScenarioCache
+from repro.obs import read_journal
+from repro.service import (
+    AdmissionFull,
+    ResultUnavailable,
+    ScenarioService,
+    ServiceClosed,
+    UnknownRun,
+)
+from repro.sim import ScenarioConfig
+
+from tests.service.conftest import TINY, assert_results_identical
+
+CLIENTS = 16
+
+
+def _submit_concurrently(service, configs):
+    """Submit each config from its own thread through one barrier, so all
+    POSTs genuinely race; returns [(run, outcome), ...] in thread order."""
+    barrier = threading.Barrier(len(configs))
+    outcomes = [None] * len(configs)
+
+    def post(i, config):
+        barrier.wait()
+        try:
+            outcomes[i] = service.submit(config)
+        except Exception as error:  # noqa: BLE001 — surfaced by the test
+            outcomes[i] = error
+
+    threads = [threading.Thread(target=post, args=(i, c))
+               for i, c in enumerate(configs)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return outcomes
+
+
+class TestDedupe:
+    def test_16_concurrent_identical_posts_run_exactly_once(
+            self, tmp_path, tiny_direct):
+        with ScenarioService(tmp_path / "cache", jobs=2) as service:
+            outcomes = _submit_concurrently(service, [TINY] * CLIENTS)
+            by_kind = sorted(outcome for _, outcome in outcomes)
+            assert by_kind.count("created") == 1
+            assert by_kind.count("deduped") == CLIENTS - 1
+
+            run_ids = {run.run_id for run, _ in outcomes}
+            assert len(run_ids) == 1  # every client shares the run
+            run_id = run_ids.pop()
+            run = service.wait(run_id, timeout=120)
+            assert run.status == "done"
+
+            # Exactly one underlying execution: one run_end in the
+            # journal, one cache store in the merged worker telemetry.
+            records = read_journal(run.journal_path)
+            assert sum(r["type"] == "run_end" for r in records) == 1
+            assert sum(r["type"] == "run_manifest" for r in records) == 1
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["scenario.cache.stores"] == 1
+            assert counters["service.cold_runs"] == 1
+            assert counters["service.deduped"] == CLIENTS - 1
+            assert counters["service.requests"] == CLIENTS
+
+            # Every client fetches byte-identical results — identical to
+            # a direct run_scenario(config) (the cold byte-equality
+            # acceptance criterion).
+            cache = ScenarioCache(tmp_path / "cache")
+            for _ in range(3):
+                loaded = cache.load(TINY)
+                assert loaded is not None
+                assert_results_identical(tiny_direct, loaded)
+
+    def test_distinct_configs_run_independently(self, tmp_path):
+        other = ScenarioConfig(seed=4, duration_days=3,
+                               volume_scale=1e-5, n_tail=2)
+        with ScenarioService(tmp_path / "cache", jobs=2) as service:
+            outcomes = _submit_concurrently(service, [TINY, other])
+            assert [outcome for _, outcome in outcomes] == \
+                ["created", "created"]
+            runs = [run for run, _ in outcomes]
+            assert runs[0].run_id != runs[1].run_id
+            for run in runs:
+                service.wait(run.run_id, timeout=120)
+                assert run.status == "done"
+                records = read_journal(run.journal_path)
+                assert sum(r["type"] == "run_end" for r in records) == 1
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["service.cold_runs"] == 2
+            assert counters["scenario.cache.stores"] == 2
+
+
+class TestWarmTier:
+    def test_warm_config_served_straight_from_cache(self, tmp_path,
+                                                    tiny_direct):
+        cache_dir = tmp_path / "cache"
+        with ScenarioService(cache_dir, jobs=1) as service:
+            run, _ = service.submit(TINY)
+            service.wait(run.run_id, timeout=120)
+
+        # A fresh service over the same cache never simulates TINY again.
+        with ScenarioService(cache_dir, jobs=1) as service:
+            run, outcome = service.submit(TINY)
+            assert outcome == "warm"
+            assert run.status == "done"
+            assert run.warm
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["service.warm_hits"] == 1
+            assert "service.cold_runs" not in counters
+            # Warm byte-equality: the served entry is the same bytes.
+            loaded = ScenarioCache(cache_dir).load(TINY)
+            assert_results_identical(tiny_direct, loaded)
+
+    def test_resubmit_after_completion_dedupes_in_registry(self, tmp_path):
+        with ScenarioService(tmp_path / "cache", jobs=1) as service:
+            run, outcome = service.submit(TINY)
+            assert outcome == "created"
+            service.wait(run.run_id, timeout=120)
+            again, outcome = service.submit(TINY)
+            assert outcome == "deduped"
+            assert again is run
+
+
+class TestAdmissionAndFailure:
+    def test_bounded_admission_queue_rejects_overflow(self, tmp_path):
+        other = ScenarioConfig(seed=5, duration_days=3,
+                               volume_scale=1e-5, n_tail=2)
+        with ScenarioService(tmp_path / "cache", jobs=1,
+                             queue_limit=1) as service:
+            run, outcome = service.submit(TINY)
+            assert outcome == "created"
+            with pytest.raises(AdmissionFull):
+                service.submit(other)
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["service.rejected"] == 1
+            service.wait(run.run_id, timeout=120)
+            # Capacity freed: the previously rejected config now admits.
+            _, outcome = service.submit(other)
+            assert outcome == "created"
+
+    def test_failed_run_reports_and_allows_retry(self, tmp_path):
+        broken = ScenarioConfig(seed=3, duration_days=3, volume_scale=1e-5,
+                                n_tail=2, nta_prefix="not-a-prefix")
+        with ScenarioService(tmp_path / "cache", jobs=1) as service:
+            run, outcome = service.submit(broken)
+            assert outcome == "created"
+            service.wait(run.run_id, timeout=120)
+            assert run.status == "failed"
+            assert run.error
+            with pytest.raises(ResultUnavailable):
+                service.result_entry(run.run_id)
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["service.failed"] == 1
+            # A failed run does not poison its config hash: retry admits.
+            _retry, outcome = service.submit(broken)
+            assert outcome == "created"
+
+    def test_result_unavailable_while_pending(self, tmp_path):
+        with ScenarioService(tmp_path / "cache", jobs=1) as service:
+            run, _ = service.submit(TINY)
+            if run.status == "pending":
+                with pytest.raises(ResultUnavailable):
+                    service.result_entry(run.run_id)
+            service.wait(run.run_id, timeout=120)
+            assert service.result_entry(run.run_id).is_dir()
+
+    def test_unknown_run_raises(self, tmp_path):
+        with ScenarioService(tmp_path / "cache") as service:
+            with pytest.raises(UnknownRun):
+                service.status("no-such-run")
+            with pytest.raises(UnknownRun):
+                service.result_manifest("no-such-run")
+
+
+class TestShutdown:
+    def test_graceful_close_drains_in_flight_runs(self, tmp_path):
+        service = ScenarioService(tmp_path / "cache", jobs=1)
+        run, outcome = service.submit(TINY)
+        assert outcome == "created"
+        service.close(drain=True)
+        assert run.done_event.is_set()
+        assert run.status == "done"
+        assert service.result_entry(run.run_id).is_dir()
+
+    def test_submit_after_close_refused(self, tmp_path):
+        service = ScenarioService(tmp_path / "cache", jobs=1)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(TINY)
