@@ -1,0 +1,145 @@
+"""Streaming bench: peak memory and wall clock, streaming vs batch.
+
+One 30-day ``volume_scale=1e-2`` scenario, each mode in its own
+*subprocess* (``ru_maxrss`` is high-water and never decreases inside a
+process, so in-process before/after would understate the batch side):
+
+* batch — ``run_scenario`` keeping every record, then ``detect_scans``
+  at /128, /64 and /48 per telescope;
+* stream — ``run_scenario(stream_analysis=True)``, which sessionizes
+  each day's captures online and drops them.
+
+Wall clock and memory come from *separate* children: tracemalloc taxes
+every allocation event, and the streaming side makes ~30x more (small
+per-day arrays vs few run-sized ones), so an instrumented wall ratio
+would charge streaming for the profiler, not the engine.  The memory
+assertion uses the tracemalloc allocation peak (interpreter baseline
+excluded — that is the part the streaming engine can actually bound);
+``ru_maxrss`` is recorded alongside for the honest whole-process
+number.  Scan counts from the wall children must agree — a bench on
+divergent analyses would be meaningless.
+
+Manual timing (no ``benchmark`` fixture) so the artifact is produced
+even under ``--benchmark-disable``.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+def _merge_results(updates: dict) -> dict:
+    """Read-modify-write ``BENCH_streaming.json`` (same convention as the
+    exec bench: merging keys keeps run order irrelevant)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_streaming.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload.update(updates)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n{json.dumps(updates, indent=2)}\n[merged into {path}]")
+    return payload
+
+
+#: Heavy enough that record retention dominates the batch side's peak:
+#: 30 days at 1e-2 is ~100x the volume of the tier-1 fixtures.
+BENCH_CONFIG = dict(
+    seed=23, duration_days=30, volume_scale=1e-2, n_tail=40,
+    phase1_day=5, phase2_day=8, phase3_day=11, specific_start_day=14,
+    tls_offset_days=7, tpot_hitlist_offset_days=10, tpot_tls_offset_days=16,
+    udp_hitlist_offset_days=4, withdraw_after_days=20,
+)
+
+_DRIVER = """\
+import io, json, resource, sys, time
+
+from repro.analysis.scandetect import detect_scans
+from repro.obs import Journal, use_journal
+from repro.sim import ScenarioConfig, run_scenario
+
+mode, measure = sys.argv[1], sys.argv[2]
+config = ScenarioConfig(**json.loads(sys.argv[3]))
+if measure == "mem":
+    import tracemalloc
+    tracemalloc.start()
+t0 = time.perf_counter()
+counts = {}
+with use_journal(Journal(io.StringIO())):
+    result = run_scenario(config, stream_analysis=(mode == "stream"))
+    if mode == "stream":
+        for name, summary in result.streaming.items():
+            counts[name] = {str(level): len(events)
+                            for level, events in summary.events.items()}
+    else:
+        for name, records in result.telescopes().items():
+            counts[name] = {
+                str(level): len(detect_scans(records, source_length=level))
+                for level in (128, 64, 48)}
+wall = time.perf_counter() - t0
+peak = tracemalloc.get_traced_memory()[1] if measure == "mem" else None
+ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "wall_s": wall,
+    "tracemalloc_peak_bytes": peak,
+    "ru_maxrss_bytes": ru * (1 if sys.platform == "darwin" else 1024),
+    "scan_counts": counts,
+}))
+"""
+
+
+def _run_child(mode: str, measure: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _DRIVER, mode, measure,
+         json.dumps(BENCH_CONFIG)],
+        check=True, capture_output=True, text=True, env=env)
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_streaming_wall_clock():
+    batch = _run_child("batch", "wall")
+    stream = _run_child("stream", "wall")
+
+    assert stream["scan_counts"] == batch["scan_counts"]
+
+    wall_ratio = stream["wall_s"] / batch["wall_s"]
+    _merge_results({
+        "days": BENCH_CONFIG["duration_days"],
+        "volume_scale": BENCH_CONFIG["volume_scale"],
+        "batch_wall_s": round(batch["wall_s"], 3),
+        "stream_wall_s": round(stream["wall_s"], 3),
+        "wall_ratio_stream_vs_batch": round(wall_ratio, 3),
+    })
+
+    assert wall_ratio <= 1.15, (
+        f"streaming wall clock {wall_ratio:.3f}x batch (budget 1.15x)")
+
+
+def test_streaming_peak_memory():
+    batch = _run_child("batch", "mem")
+    stream = _run_child("stream", "mem")
+
+    mem_ratio = (batch["tracemalloc_peak_bytes"]
+                 / max(1, stream["tracemalloc_peak_bytes"]))
+    _merge_results({
+        "batch_peak_alloc_bytes": batch["tracemalloc_peak_bytes"],
+        "stream_peak_alloc_bytes": stream["tracemalloc_peak_bytes"],
+        "batch_ru_maxrss_bytes": batch["ru_maxrss_bytes"],
+        "stream_ru_maxrss_bytes": stream["ru_maxrss_bytes"],
+        "peak_alloc_ratio": round(mem_ratio, 2),
+        "peak_rss_ratio": round(batch["ru_maxrss_bytes"]
+                                / max(1, stream["ru_maxrss_bytes"]), 2),
+    })
+
+    assert mem_ratio >= 4.0, (
+        f"streaming peak allocations only {mem_ratio:.2f}x below batch")

@@ -62,6 +62,9 @@ DEFAULT_CACHE_DIR = ".cache"
 #: --checkpoint without a directory uses this.
 DEFAULT_CHECKPOINT_DIR = ".checkpoints"
 
+#: --spill without a directory uses this.
+DEFAULT_SPILL_DIR = ".spill"
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -119,6 +122,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--pipeline", action="store_true",
                        help="overlap packet emission and dispatch on a "
                             "second thread (serial mode only)")
+    run_p.add_argument("--stream", action="store_true",
+                       help="run scan detection incrementally during the "
+                            "day loop and release each day's packets: peak "
+                            "memory holds one day, not the horizon; prints "
+                            "a streaming scan summary instead of the "
+                            "record-driven tables")
+    run_p.add_argument("--spill", nargs="?", const=DEFAULT_SPILL_DIR,
+                       default=None, metavar="DIR",
+                       help="bound capture memory by sealing buffered "
+                            "chunks past the budget to checksummed npz "
+                            "segments in DIR (default "
+                            f"{DEFAULT_SPILL_DIR})")
+    run_p.add_argument("--spill-budget-mb", type=int, default=None,
+                       metavar="MB",
+                       help="capture bytes to buffer before spilling "
+                            "(default 64)")
     add_scenario_args(run_p)
 
     exp_p = sub.add_parser("experiment",
@@ -180,6 +199,7 @@ def _cache_dir(args):
 def _scenario(args) -> object:
     print(f"running scenario: {args.days} days, scale {args.scale}, "
           f"seed {args.seed} ...", file=sys.stderr)
+    budget_mb = getattr(args, "spill_budget_mb", None)
     return run_scenario(
         _config(args), cache_dir=_cache_dir(args),
         jobs=getattr(args, "jobs", 1) if args.command == "run" else 1,
@@ -187,7 +207,29 @@ def _scenario(args) -> object:
         checkpoint_dir=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        stream_analysis=getattr(args, "stream", False),
+        spill_dir=getattr(args, "spill", None),
+        spill_budget_bytes=(budget_mb * 1024 * 1024
+                            if budget_mb is not None else None),
     )
+
+
+def _render_stream_summary(result) -> str:
+    """The ``run --stream`` headline: per-telescope scan-event counts at
+    every aggregation level, computed without retaining the packets."""
+    lines = ["Streaming scan summary (events element-identical to batch "
+             "detect_scans)"]
+    lines.append(f"  {'telescope':10s} {'packets':>9s} "
+                 f"{'scans/128':>9s} {'scans/64':>8s} {'scans/48':>8s}")
+    for name, summary in result.streaming.items():
+        counts = {level: len(events)
+                  for level, events in summary.events.items()}
+        lines.append(
+            f"  {name:10s} {summary.records_in:9d} "
+            f"{counts.get(128, 0):9d} {counts.get(64, 0):8d} "
+            f"{counts.get(48, 0):8d}"
+        )
+    return "\n".join(lines)
 
 
 def _emit_metrics(registry: MetricsRegistry, metrics_arg) -> None:
@@ -248,12 +290,13 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
-        from repro.experiments.report import JOBS_AWARE
+        from repro.experiments.report import JOBS_AWARE, STREAM_ELIGIBLE
 
         def describe(key: str) -> str:
             fn, _ = EXPERIMENTS[key]
             doc = (fn.__doc__ or "").strip().splitlines()[0]
-            marker = "*" if key in JOBS_AWARE else " "
+            marker = "*" if key in JOBS_AWARE else (
+                "s" if key in STREAM_ELIGIBLE else " ")
             return f"  {key:8s} {marker} {doc}"
 
         print("standalone (no scenario run needed):")
@@ -261,7 +304,8 @@ def main(argv: list[str] | None = None) -> int:
             if not needs_result:
                 print(describe(key))
         print("scenario-driven (share one telescope run; "
-              "* = fans out internally with --jobs):")
+              "* = fans out internally with --jobs; "
+              "s = detection inputs computable by run --stream):")
         for key, (_, needs_result) in EXPERIMENTS.items():
             if needs_result:
                 print(describe(key))
@@ -282,7 +326,25 @@ def main(argv: list[str] | None = None) -> int:
     prev_journal = set_journal(journal) if journal else None
     try:
         if args.command == "run":
+            if args.stream and _cache_dir(args) is not None:
+                print("error: --stream is incompatible with --cache "
+                      "(streaming runs produce no record bundle to cache)",
+                      file=sys.stderr)
+                return 2
+            if args.spill is not None and (args.stream or args.checkpoint):
+                print("error: --spill composes with neither --stream nor "
+                      "--checkpoint (see run_scenario docs)",
+                      file=sys.stderr)
+                return 2
             result = _scenario(args)
+            if args.stream:
+                print()
+                print(_render_stream_summary(result))
+                if registry:
+                    _emit_metrics(registry, args.metrics)
+                if tracer:
+                    _emit_trace(tracer, args.trace)
+                return 0
             for key in ("table1", "table3", "fig5", "fig9", "table4"):
                 fn, _ = EXPERIMENTS[key]
                 print()

@@ -23,6 +23,12 @@ from repro.analysis.campaigns import (
     campaign_summary,
     cluster_campaigns,
 )
+from repro.analysis.streaming import (
+    FlowTracker,
+    SessionTracker,
+    StreamAnalyzer,
+    StreamSummary,
+)
 
 __all__ = [
     "PacketRecords",
@@ -48,4 +54,8 @@ __all__ = [
     "Campaign",
     "campaign_summary",
     "cluster_campaigns",
+    "FlowTracker",
+    "SessionTracker",
+    "StreamAnalyzer",
+    "StreamSummary",
 ]

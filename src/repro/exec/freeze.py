@@ -90,6 +90,7 @@ def freeze_result(result):
         scenario=freeze_scenario(result.scenario),
         nta=result.nta, ntb=result.ntb, ntc=result.ntc,
         telemetry=result.telemetry, truth=dict(result.truth),
+        streaming=result.streaming,
     )
 
 
@@ -106,7 +107,8 @@ def freeze_result(result):
 
 #: Bump when the checkpoint layout changes; mismatched files are ignored
 #: (the resume falls back to a fresh run rather than crashing).
-CHECKPOINT_PROTOCOL = 1
+#: 2: added ``streaming`` (open analyzer state for ``stream_analysis``).
+CHECKPOINT_PROTOCOL = 2
 
 
 @dataclass
@@ -126,6 +128,11 @@ class ScenarioCheckpoint:
     #: ``(record_type, fields)`` pairs — replayed verbatim on resume so
     #: the resumed journal is byte-identical to an uninterrupted one.
     journal_records: list
+    #: ``stream_analysis`` runs only: telescope name ->
+    #: :class:`~repro.analysis.streaming.StreamAnalyzer` mid-run (open
+    #: sessions, closed events, flow state).  None for batch runs — a
+    #: checkpoint can only resume into the mode that wrote it.
+    streaming: dict | None = None
 
 
 def _capturers(scenario) -> dict:
@@ -144,8 +151,8 @@ def checkpoint_path(directory, config) -> Path:
     return Path(directory) / f"{config_hash(config)}.ckpt"
 
 
-def capture_checkpoint(scenario, next_day: int,
-                       journal_records) -> ScenarioCheckpoint:
+def capture_checkpoint(scenario, next_day: int, journal_records,
+                       streaming: dict | None = None) -> ScenarioCheckpoint:
     """Snapshot a live scenario's resumable state at a day boundary."""
     from repro import __version__
     from repro.obs import config_hash
@@ -162,6 +169,7 @@ def capture_checkpoint(scenario, next_day: int,
             for key, cap in _capturers(scenario).items()
         },
         journal_records=list(journal_records),
+        streaming=streaming,
     )
 
 

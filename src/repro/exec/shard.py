@@ -275,15 +275,18 @@ def merge_day(scenario, journal, day: int, parent_records,
 
 def run_sharded_days(scenario, pool: ShardPool, *, start_day: int,
                      duration: int, window_days: int,
-                     progress: bool = False, on_window_end=None) -> None:
+                     progress: bool = False, on_day_end=None,
+                     on_window_end=None) -> None:
     """Drive the day loop across the pool in day windows.
 
     For each window the parent first posts the work, then advances its
     own engine through the same days (buffering its deploy/retract
     records with event ordinals) while the workers emit and dispatch —
     the overlap that makes sharding pay — and finally merges.
-    ``on_window_end(next_day)`` runs after each merged window; the runner
-    hooks checkpoint saves and the abort-for-testing path there.
+    ``on_day_end(day)`` runs after each day's merge (the runner feeds the
+    streaming analyzers there — at that point the parent capturers hold
+    exactly that day's rows); ``on_window_end(next_day)`` runs after each
+    merged window (checkpoint saves and the abort-for-testing path).
     """
     journal = get_journal()
     window_days = max(1, int(window_days))
@@ -309,5 +312,7 @@ def run_sharded_days(scenario, pool: ShardPool, *, start_day: int,
                 counters = scenario.counters
                 print(f"day {day}: {emitted} packets "
                       f"(NT-A {counters.nta}, NT-C {counters.ntc})")
+            if on_day_end is not None:
+                on_day_end(day)
         if on_window_end is not None:
             on_window_end(window_end)

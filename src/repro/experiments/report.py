@@ -24,6 +24,12 @@ from repro.sim.runner import ScenarioResult
 #: their independent treatment/control estimations internally.
 JOBS_AWARE = frozenset({"table4", "fig7", "fig8", "fig10"})
 
+#: Experiment ids whose detection inputs the streaming engine computes
+#: incrementally: their drivers run :func:`~repro.analysis.scandetect
+#: .detect_scans` at the paper's parameters, the exact event stream a
+#: ``repro run --stream`` run produces without retaining the records.
+STREAM_ELIGIBLE = frozenset({"footnote1", "groundtruth"})
+
 
 def render_header(result: ScenarioResult | None) -> str:
     """The report preamble (scenario line included when one was run)."""

@@ -50,6 +50,7 @@ from repro.obs.registry import (
     set_registry,
     use_registry,
 )
+from repro.obs.rss import PEAK_RSS_GAUGE, peak_rss_bytes, sample_peak_rss
 from repro.obs.timer import NULL_TIMER, StageTimer
 from repro.obs.trace import (
     NULL_SPAN,
@@ -79,6 +80,7 @@ __all__ = [
     "NullJournal",
     "NullRegistry",
     "NullTracer",
+    "PEAK_RSS_GAUGE",
     "RECORD_SCHEMAS",
     "RecordingJournal",
     "RunManifest",
@@ -91,7 +93,9 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "load_manifest",
+    "peak_rss_bytes",
     "read_journal",
+    "sample_peak_rss",
     "set_journal",
     "set_registry",
     "set_tracer",

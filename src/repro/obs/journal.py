@@ -50,6 +50,12 @@ RECORD_SCHEMAS: dict[str, frozenset] = {
     "detection": frozenset(
         {"source_length", "min_targets", "timeout", "records_in",
          "events_out"}),
+    # streaming analysis: one per telescope per day, emitted right after
+    # the day record — the incremental detector's progress ledger (how
+    # many records it consumed, events it closed, sessions still open).
+    "stream_detection": frozenset(
+        {"day", "telescope", "records_in", "events_closed",
+         "open_sessions"}),
     # scenario-cache provenance: a run served from (or written to) the
     # on-disk result cache records where its bytes came from / went to.
     "cache_hit": frozenset({"config_hash", "path"}),

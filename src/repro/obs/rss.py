@@ -1,0 +1,45 @@
+"""Process peak-RSS measurement: memory claims measured, not estimated.
+
+``ru_maxrss`` is the kernel's high-water mark for the process's resident
+set — it only ever grows, so sampling it at stage boundaries shows which
+stage first pushed the process to its peak.  Linux reports it in KiB,
+macOS in bytes; :func:`peak_rss_bytes` normalizes to bytes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+#: Gauge name the peak-RSS samples land under.
+PEAK_RSS_GAUGE = "process.peak_rss_bytes"
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size in bytes (0 if unavailable)."""
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+def sample_peak_rss(registry=None, stage: str | None = None) -> int:
+    """Record the current peak RSS into ``registry`` (default: the active
+    one) under :data:`PEAK_RSS_GAUGE`; with ``stage``, also under
+    ``process.peak_rss_bytes.<stage>`` so per-stage high-water marks
+    survive in one snapshot.  Returns the sampled byte count."""
+    from repro.obs.registry import get_registry
+
+    if registry is None:
+        registry = get_registry()
+    peak = peak_rss_bytes()
+    registry.gauge(PEAK_RSS_GAUGE).set(peak)
+    if stage:
+        registry.gauge(f"{PEAK_RSS_GAUGE}.{stage}").set(peak)
+    return peak

@@ -395,8 +395,11 @@ class ScenarioService:
     # -- ops surface -------------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
+        from repro.obs import sample_peak_rss
+
         self.registry.gauge("scenario.cache.bytes").set(
             self.cache.total_bytes())
+        sample_peak_rss(self.registry)
         return self.registry.snapshot()
 
     def trace_spans(self) -> list[dict]:

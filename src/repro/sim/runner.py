@@ -19,6 +19,7 @@ from repro.obs import (
     get_journal,
     get_registry,
     get_tracer,
+    sample_peak_rss,
     set_journal,
     use_journal,
 )
@@ -52,6 +53,12 @@ class ScenarioResult:
     #: emitted each captured packet — data a real telescope never has, kept
     #: out of the analysis-facing records and used only for scoring.
     truth: dict = field(default_factory=dict)
+    #: ``stream_analysis`` runs only: telescope name ->
+    #: :class:`~repro.analysis.streaming.StreamSummary` (scan events at
+    #: every aggregation level, computed incrementally).  The record
+    #: columns above are empty in that mode — the packets were analyzed
+    #: and released day by day, never retained.
+    streaming: dict | None = None
 
     @property
     def config(self) -> ScenarioConfig:
@@ -154,6 +161,9 @@ def run_scenario(
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = False,
     abort_after_day: int | None = None,
+    stream_analysis: bool = False,
+    spill_dir=None,
+    spill_budget_bytes: int | None = None,
 ) -> ScenarioResult:
     """Build, run, and bundle one full scenario.
 
@@ -189,10 +199,42 @@ def run_scenario(
     * ``abort_after_day=N`` raises :class:`SimulationAborted` once day N
       has completed (sharded runs: once N's window has merged) — the test
       hook for kill/resume equivalence.
+
+    Memory-bounded modes (each changes what is held, never what is
+    computed):
+
+    * ``stream_analysis=True`` runs the scan/flow detectors *during* the
+      day loop: each day's captures are drained into per-telescope
+      :class:`~repro.analysis.streaming.StreamAnalyzer` instances and
+      released, so peak memory holds one day of packets instead of the
+      horizon.  The result carries :attr:`ScenarioResult.streaming`
+      summaries whose events are element-identical to running
+      ``detect_scans`` over the batch records; the record columns come
+      back empty.  Composes with ``jobs`` and ``checkpoint_dir`` (open
+      analyzer state rides in the checkpoint); incompatible with
+      ``cache_dir`` (the cache stores record bundles).
+    * ``spill_dir`` keeps the *batch* path's captures bounded instead:
+      buffered chunks past ``spill_budget_bytes`` are sealed to
+      checksummed npz segments and streamed back at freeze time.
+      Incompatible with ``checkpoint_dir`` (checkpoints snapshot
+      in-memory chunks) and redundant under ``stream_analysis`` (the
+      day-drain already bounds the buffer), so both pairings are errors.
     """
     config = config if config is not None else ScenarioConfig()
     if jobs > 1 and not config.use_batch_path:
         raise ValueError("sharded runs (jobs > 1) require use_batch_path")
+    if stream_analysis and cache_dir is not None:
+        raise ValueError(
+            "stream_analysis runs produce no record bundle to cache; "
+            "drop cache_dir or stream_analysis")
+    if spill_dir is not None and checkpoint_dir is not None:
+        raise ValueError(
+            "capture spill and checkpointing are mutually exclusive: "
+            "a checkpoint snapshots in-memory chunks only")
+    if spill_dir is not None and stream_analysis:
+        raise ValueError(
+            "stream_analysis already bounds capture memory by draining "
+            "each day; spill_dir would hide chunks from the day drain")
     registry = get_registry()
     tracer = get_tracer()
 
@@ -201,6 +243,29 @@ def run_scenario(
         from repro.exec.freeze import load_checkpoint
 
         checkpoint = load_checkpoint(checkpoint_dir, config)
+        if checkpoint is not None:
+            # A checkpoint can only resume into the mode that wrote it:
+            # batch checkpoints carry chunks the streaming path would
+            # never analyze, streaming ones carry analyzer state the
+            # batch path would silently drop.
+            if stream_analysis and checkpoint.streaming is None:
+                raise ValueError(
+                    "cannot resume a batch-mode checkpoint with "
+                    "stream_analysis=True")
+            if not stream_analysis and checkpoint.streaming is not None:
+                raise ValueError(
+                    "cannot resume a stream_analysis checkpoint without "
+                    "stream_analysis=True")
+
+    streams = None
+    if stream_analysis:
+        from repro.analysis.streaming import StreamAnalyzer
+
+        if checkpoint is not None and checkpoint.streaming is not None:
+            streams = checkpoint.streaming
+        else:
+            streams = {name: StreamAnalyzer(name)
+                       for name in ("NT-A", "NT-B", "NT-C")}
 
     # With checkpointing on, wrap the active journal in a recorder for the
     # duration of the run: checkpoints then carry every record emitted so
@@ -245,27 +310,47 @@ def run_scenario(
                 config, checkpoint, start_day, progress=progress, jobs=jobs,
                 pipeline=pipeline, checkpoint_dir=checkpoint_dir,
                 checkpoint_every=checkpoint_every,
-                abort_after_day=abort_after_day,
+                abort_after_day=abort_after_day, streams=streams,
+                spill_dir=spill_dir, spill_budget_bytes=spill_budget_bytes,
             )
+            sample_peak_rss(registry, stage="run")
+            summaries = None
             with registry.timer("scenario.freeze"), \
                     tracer.span("scenario.freeze"):
-                nta = scenario.telescope.capturer.to_records()
-                ntb = scenario.ntb_capturer.to_records()
-                ntc = scenario.ntc_capturer.to_records()
-                truth = {
-                    "NT-A": scenario.telescope.capturer.to_truth(),
-                    "NT-B": scenario.ntb_capturer.to_truth(),
-                    "NT-C": scenario.ntc_capturer.to_truth(),
-                }
+                if streams is not None:
+                    summaries = {name: streams[name].finish()
+                                 for name in ("NT-A", "NT-B", "NT-C")}
+                    nta = ntb = ntc = PacketRecords.empty()
+                    truth = {}
+                    packets = sum(s.records_in for s in summaries.values())
+                else:
+                    nta = scenario.telescope.capturer.to_records()
+                    ntb = scenario.ntb_capturer.to_records()
+                    ntc = scenario.ntc_capturer.to_records()
+                    truth = {
+                        "NT-A": scenario.telescope.capturer.to_truth(),
+                        "NT-B": scenario.ntb_capturer.to_truth(),
+                        "NT-C": scenario.ntc_capturer.to_truth(),
+                    }
+                    packets = len(nta) + len(ntb) + len(ntc)
             journal.emit("run_end", days=config.duration_days,
-                         packets=len(nta) + len(ntb) + len(ntc))
-        registry.gauge("scenario.records.nta").set(len(nta))
-        registry.gauge("scenario.records.ntb").set(len(ntb))
-        registry.gauge("scenario.records.ntc").set(len(ntc))
+                         packets=packets)
+            sample_peak_rss(registry, stage="freeze")
+        if summaries is not None:
+            registry.gauge("scenario.records.nta").set(
+                summaries["NT-A"].records_in)
+            registry.gauge("scenario.records.ntb").set(
+                summaries["NT-B"].records_in)
+            registry.gauge("scenario.records.ntc").set(
+                summaries["NT-C"].records_in)
+        else:
+            registry.gauge("scenario.records.nta").set(len(nta))
+            registry.gauge("scenario.records.ntb").set(len(ntb))
+            registry.gauge("scenario.records.ntc").set(len(ntc))
         result = ScenarioResult(
             scenario=scenario, nta=nta, ntb=ntb, ntc=ntc,
             telemetry=registry.snapshot() if registry.enabled else {},
-            truth=truth,
+            truth=truth, streaming=summaries,
         )
         if cache is not None:
             cache.store(result)
@@ -275,8 +360,35 @@ def run_scenario(
             set_journal(previous_journal)
 
 
+def _scenario_capturers(scenario) -> dict:
+    return {
+        "NT-A": scenario.telescope.capturer,
+        "NT-B": scenario.ntb_capturer,
+        "NT-C": scenario.ntc_capturer,
+    }
+
+
+def _feed_streams(scenario, streams, journal, day: int) -> None:
+    """Drain each telescope's day of captures into its analyzer.
+
+    ``now`` is the day boundary, so sessions idle past the timeout close
+    deterministically each day regardless of when their source next shows
+    up.  One ``stream_detection`` record per telescope, in fixed order —
+    the serial and sharded paths emit identical journals.
+    """
+    for name, cap in _scenario_capturers(scenario).items():
+        records = cap.drain_day_records()
+        closed = streams[name].feed(records, now=(day + 1) * DAY)
+        journal.emit(
+            "stream_detection", day=day, telescope=name,
+            records_in=len(records), events_closed=closed,
+            open_sessions=streams[name].open_sessions,
+        )
+
+
 def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
-              checkpoint_dir, checkpoint_every, abort_after_day):
+              checkpoint_dir, checkpoint_every, abort_after_day,
+              streams=None, spill_dir=None, spill_budget_bytes=None):
     """Build (or rebuild-and-fast-forward) the scenario and run its days
     in the requested execution mode; returns the run scenario."""
     registry = get_registry()
@@ -284,6 +396,15 @@ def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
     journal = get_journal()
     duration = config.duration_days
     chash = config_hash(config)
+
+    def enable_spill(scenario):
+        if spill_dir is None:
+            return
+        for cap in _scenario_capturers(scenario).values():
+            if spill_budget_bytes is not None:
+                cap.enable_spill(spill_dir, spill_budget_bytes)
+            else:
+                cap.enable_spill(spill_dir)
 
     def maybe_checkpoint(scenario, next_day):
         """Save at the cadence boundary; the ``checkpoint`` record goes
@@ -297,7 +418,8 @@ def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
             save_checkpoint(
                 checkpoint_dir,
                 capture_checkpoint(scenario, next_day,
-                                   journal.plain_records()),
+                                   journal.plain_records(),
+                                   streaming=streams),
                 config,
             )
 
@@ -317,6 +439,13 @@ def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
                     with use_journal(None):
                         for day in range(start_day):
                             scenario.replay_day(day, agents=False)
+                enable_spill(scenario)
+            sample_peak_rss(registry, stage="build")
+
+            on_day_end = None
+            if streams is not None:
+                def on_day_end(day):
+                    _feed_streams(scenario, streams, journal, day)
 
             def on_window_end(next_day):
                 maybe_checkpoint(scenario, next_day)
@@ -329,7 +458,7 @@ def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
                 run_sharded_days(
                     scenario, pool, start_day=start_day, duration=duration,
                     window_days=max(1, checkpoint_every), progress=progress,
-                    on_window_end=on_window_end,
+                    on_day_end=on_day_end, on_window_end=on_window_end,
                 )
         finally:
             pool.close()
@@ -345,6 +474,8 @@ def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
             with use_journal(None):
                 for day in range(start_day):
                     scenario.replay_day(day)
+        enable_spill(scenario)
+    sample_peak_rss(registry, stage="build")
     with registry.timer("scenario.run"), tracer.span("scenario.run"):
         pipe = None
         if pipeline:
@@ -360,9 +491,13 @@ def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
                     print(f"day {day}: {emitted} packets "
                           f"(NT-A {counters.nta}, NT-C {counters.ntc})")
                 next_day = day + 1
-                if pipe is not None and checkpoint_dir is not None:
-                    # Captures must be settled before they are snapshot.
+                if pipe is not None and (streams is not None
+                                         or checkpoint_dir is not None):
+                    # Captures must be settled before they are drained
+                    # into the analyzers or snapshot into a checkpoint.
                     pipe.drain()
+                if streams is not None:
+                    _feed_streams(scenario, streams, journal, day)
                 maybe_checkpoint(scenario, next_day)
                 if abort_after_day is not None and day >= abort_after_day:
                     if pipe is not None:

@@ -1,0 +1,180 @@
+"""Streaming scenario runs: incremental detection equals batch analysis.
+
+``run_scenario(stream_analysis=True)`` analyzes each day's captures
+online and releases them; its event lists must be element-identical to
+running :func:`~repro.analysis.scandetect.detect_scans` over a batch
+run's records — serially, sharded (``jobs=2``), and across a
+kill-and-resume whose checkpoint carries open sessions over the boundary.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis.scandetect import detect_scans, detect_scans_reference
+from repro.exec.freeze import load_checkpoint
+from repro.obs import Journal, MetricsRegistry, use_journal, use_registry
+from repro.sim import ScenarioConfig, SimulationAborted, run_scenario
+
+DAYS = 12
+CADENCE = 4
+LEVELS = (128, 64, 48)
+
+
+def _config():
+    return ScenarioConfig(seed=19, duration_days=DAYS, volume_scale=1e-4,
+                          n_tail=20, phase1_day=2, phase2_day=4,
+                          phase3_day=6, specific_start_day=7,
+                          withdraw_after_days=5)
+
+
+def _stream_run(**kwargs):
+    buffer = io.StringIO()
+    with use_journal(Journal(buffer)):
+        result = run_scenario(_config(), stream_analysis=True, **kwargs)
+    return result, buffer.getvalue()
+
+
+def _assert_same_events(a, b):
+    for name in ("NT-A", "NT-B", "NT-C"):
+        assert a.streaming[name].records_in == b.streaming[name].records_in
+        for level in LEVELS:
+            assert a.streaming[name].events[level] == \
+                b.streaming[name].events[level], (name, level)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return run_scenario(_config())
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return _stream_run()
+
+
+class TestStreamingEqualsBatch:
+    def test_events_identical_at_every_level(self, batch, stream):
+        result, _ = stream
+        for name, records in batch.telescopes().items():
+            summary = result.streaming[name]
+            assert summary.records_in == len(records)
+            for level in LEVELS:
+                expect = detect_scans(records, source_length=level)
+                assert summary.events[level] == expect, (name, level)
+
+    def test_matches_per_packet_reference(self, batch, stream):
+        result, _ = stream
+        records = batch.nta
+        assert result.streaming["NT-A"].events[64] == \
+            detect_scans_reference(records, 64, 100, 3600.0)
+
+    def test_streaming_run_retains_no_records(self, stream):
+        result, _ = stream
+        assert len(result.nta) == len(result.ntb) == len(result.ntc) == 0
+        assert result.truth == {}
+
+    def test_journal_has_stream_detection_per_telescope_day(self, stream):
+        _, journal = stream
+        lines = [line for line in journal.splitlines()
+                 if '"stream_detection"' in line]
+        assert len(lines) == 3 * DAYS
+
+    def test_sharded_streaming_identical(self, stream):
+        serial_result, serial_journal = stream
+        sharded, journal = _stream_run(jobs=2)
+        _assert_same_events(serial_result, sharded)
+        assert journal == serial_journal
+
+
+class TestStreamingCheckpoint:
+    def test_kill_and_resume_carries_open_sessions(self, stream, tmp_path):
+        base, base_journal = stream
+        with pytest.raises(SimulationAborted):
+            _stream_run(checkpoint_dir=tmp_path, checkpoint_every=CADENCE,
+                        abort_after_day=5)
+        checkpoint = load_checkpoint(tmp_path, _config())
+        assert checkpoint is not None
+        assert checkpoint.streaming is not None
+        carried = sum(a.open_sessions
+                      for a in checkpoint.streaming.values())
+        assert carried > 0  # sessions genuinely cross the boundary
+        resumed, journal = _stream_run(checkpoint_dir=tmp_path,
+                                       checkpoint_every=CADENCE,
+                                       resume=True)
+        _assert_same_events(base, resumed)
+
+    def test_resumed_equals_uninterrupted_with_checkpointing(self, tmp_path):
+        base, base_journal = _stream_run(
+            checkpoint_dir=tmp_path / "base", checkpoint_every=CADENCE)
+        with pytest.raises(SimulationAborted):
+            _stream_run(checkpoint_dir=tmp_path / "kill",
+                        checkpoint_every=CADENCE, abort_after_day=5)
+        resumed, journal = _stream_run(checkpoint_dir=tmp_path / "kill",
+                                       checkpoint_every=CADENCE,
+                                       resume=True)
+        _assert_same_events(base, resumed)
+        assert journal == base_journal
+
+    def test_cross_mode_resume_rejected(self, tmp_path):
+        with pytest.raises(SimulationAborted):
+            _stream_run(checkpoint_dir=tmp_path, checkpoint_every=CADENCE,
+                        abort_after_day=5)
+        with pytest.raises(ValueError, match="stream_analysis"):
+            run_scenario(_config(), checkpoint_dir=tmp_path,
+                         checkpoint_every=CADENCE, resume=True)
+
+    def test_batch_checkpoint_rejected_by_streaming_resume(self, tmp_path):
+        with use_journal(Journal(io.StringIO())):
+            with pytest.raises(SimulationAborted):
+                run_scenario(_config(), checkpoint_dir=tmp_path,
+                             checkpoint_every=CADENCE, abort_after_day=5)
+        with pytest.raises(ValueError, match="batch-mode"):
+            run_scenario(_config(), stream_analysis=True,
+                         checkpoint_dir=tmp_path, checkpoint_every=CADENCE,
+                         resume=True)
+
+
+class TestSpillRun:
+    def test_forced_spill_byte_identical_to_batch(self, batch, tmp_path):
+        spilled = run_scenario(_config(), spill_dir=tmp_path,
+                               spill_budget_bytes=2048)
+        for name, records in batch.telescopes().items():
+            other = spilled.telescopes()[name]
+            assert len(records) == len(other)
+            for col in ("ts", "src_hi", "src_lo", "dst_hi", "dst_lo",
+                        "proto", "sport", "dport"):
+                assert np.array_equal(getattr(records, col),
+                                      getattr(other, col)), (name, col)
+        for name, truth in batch.truth.items():
+            assert np.array_equal(truth.origin, spilled.truth[name].origin)
+
+
+class TestModeGuards:
+    def test_stream_rejects_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="cache"):
+            run_scenario(_config(), stream_analysis=True,
+                         cache_dir=tmp_path)
+
+    def test_spill_rejects_checkpoint(self, tmp_path):
+        with pytest.raises(ValueError, match="spill"):
+            run_scenario(_config(), spill_dir=tmp_path / "s",
+                         checkpoint_dir=tmp_path / "c")
+
+    def test_spill_rejects_stream(self, tmp_path):
+        with pytest.raises(ValueError, match="spill"):
+            run_scenario(_config(), stream_analysis=True,
+                         spill_dir=tmp_path)
+
+
+class TestPeakRssGauge:
+    def test_stage_gauges_in_telemetry(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = run_scenario(ScenarioConfig(
+                seed=19, duration_days=3, volume_scale=1e-4, n_tail=20))
+        gauges = result.telemetry["gauges"]
+        assert gauges["process.peak_rss_bytes"] > 0
+        for stage in ("build", "run", "freeze"):
+            assert gauges[f"process.peak_rss_bytes.{stage}"] > 0
