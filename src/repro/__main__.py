@@ -5,6 +5,10 @@ Subcommands:
 * ``list`` — show the available experiments,
 * ``run`` — run the full scenario and print the headline tables,
 * ``experiment <id> [...]`` — regenerate specific tables/figures,
+* ``observe`` — run a streaming observatory: one schema-versioned
+  observer JSON per simulated day (scan-event rates per telescope,
+  new-scanner discovery, tactic mix, honeyprefix reaction latency),
+  then print the rolling drift/changepoint report over the day files,
 * ``serve`` — run the multi-tenant scenario service: an asyncio HTTP API
   where clients POST a ``ScenarioConfig`` JSON to ``/runs``, identical
   configs dedupe onto one in-flight run, warm configs are served from the
@@ -39,6 +43,7 @@ in ``N`` worker processes (the report bytes do not depend on N).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments import EXPERIMENTS
@@ -65,6 +70,9 @@ DEFAULT_CHECKPOINT_DIR = ".checkpoints"
 #: --spill without a directory uses this.
 DEFAULT_SPILL_DIR = ".spill"
 
+#: --observe / the observe subcommand write observer day files here.
+DEFAULT_OBSERVE_DIR = "data"
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -73,7 +81,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    list_p = sub.add_parser(
+        "list", help="list available experiments",
+        description="List the experiment ids 'experiment' accepts.  "
+                    "Scenario-driven rows carry a marker column: "
+                    "'*' means the experiment fans out internally with "
+                    "--jobs N; 's' means its detection inputs can be "
+                    "computed by a streaming run (run --stream).")
+    list_p.add_argument("--json", action="store_true",
+                        help="emit the experiment table as JSON (id, "
+                             "standalone, jobs- and stream-eligibility) "
+                             "instead of text")
 
     def add_scenario_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--days", type=int, default=100,
@@ -128,6 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "memory holds one day, not the horizon; prints "
                             "a streaming scan summary instead of the "
                             "record-driven tables")
+    run_p.add_argument("--observe", nargs="?", const=DEFAULT_OBSERVE_DIR,
+                       default=None, metavar="DIR",
+                       help="with --stream: emit one schema-versioned "
+                            "observer JSON per simulated day into DIR "
+                            f"(default {DEFAULT_OBSERVE_DIR})")
     run_p.add_argument("--spill", nargs="?", const=DEFAULT_SPILL_DIR,
                        default=None, metavar="DIR",
                        help="bound capture memory by sealing buffered "
@@ -150,6 +173,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="render report sections in N worker processes "
                             "(output is identical for every N)")
     add_scenario_args(exp_p)
+
+    obs_p = sub.add_parser(
+        "observe",
+        help="run the scenario in observatory mode, print a drift report")
+    obs_p.add_argument("--data", default=DEFAULT_OBSERVE_DIR, metavar="DIR",
+                       help="observatory directory: one observer JSON per "
+                            "simulated day, plus observations.jsonl and "
+                            f"index.jsonl (default {DEFAULT_OBSERVE_DIR})")
+    obs_p.add_argument("--summary-only", action="store_true",
+                       help="skip the simulation; summarize the day files "
+                            "already in --data")
+    obs_p.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the drift report as JSON to FILE")
+    obs_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard the day loop's agents across N worker "
+                            "processes (day files are identical for "
+                            "every N)")
+    add_scenario_args(obs_p)
 
     serve_p = sub.add_parser(
         "serve", help="serve scenario runs over HTTP (multi-tenant API)")
@@ -182,6 +223,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--checkpoint-every", type=int, default=10,
                          metavar="DAYS", help="checkpoint cadence "
                          "(default 10)")
+    serve_p.add_argument("--observatory", default=None, metavar="DIR",
+                         help="expose the observatory directory at "
+                              "GET /observatory (SSE tail) and "
+                              "GET /observatory/<day>")
     return parser
 
 
@@ -196,6 +241,34 @@ def _cache_dir(args):
     return None if args.no_cache else args.cache
 
 
+def _mode_conflict(args) -> str | None:
+    """First mutually-exclusive option combination as a one-line message,
+    or None when the requested mode set is coherent.
+
+    Centralising the refusals keeps every combination to the same
+    contract: one ``error:`` line on stderr, exit status 2, no traceback.
+    """
+    observe_run = args.command == "observe" and not args.summary_only
+    stream = getattr(args, "stream", False) or observe_run
+    observe = getattr(args, "observe", None)
+    spill = getattr(args, "spill", None)
+    if stream and _cache_dir(args) is not None:
+        return ("--stream is incompatible with --cache (streaming runs "
+                "produce no record bundle to cache)")
+    if observe is not None and not stream:
+        return ("--observe requires --stream (observer records are "
+                "derived from the streaming day drain)")
+    if spill is not None and stream:
+        return ("--spill is incompatible with --stream (a streaming run "
+                "already releases each day's packets)")
+    if spill is not None and args.checkpoint:
+        return ("--spill is incompatible with --checkpoint (spilled "
+                "segments are not captured by checkpoints)")
+    if args.resume and not args.checkpoint:
+        return "--resume requires --checkpoint (nothing to resume from)"
+    return None
+
+
 def _scenario(args) -> object:
     print(f"running scenario: {args.days} days, scale {args.scale}, "
           f"seed {args.seed} ...", file=sys.stderr)
@@ -208,6 +281,7 @@ def _scenario(args) -> object:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
         stream_analysis=getattr(args, "stream", False),
+        observe_dir=getattr(args, "observe", None),
         spill_dir=getattr(args, "spill", None),
         spill_budget_bytes=(budget_mb * 1024 * 1024
                             if budget_mb is not None else None),
@@ -230,6 +304,39 @@ def _render_stream_summary(result) -> str:
             f"{counts.get(48, 0):8d}"
         )
     return "\n".join(lines)
+
+
+def _observe(args) -> int:
+    """The ``observe`` subcommand: a streaming observatory run (unless
+    ``--summary-only``) followed by the drift report over its day files."""
+    import json
+
+    from repro.observatory import DriftReport, list_day_files
+
+    if not args.summary_only:
+        result = run_scenario(
+            _config(args), jobs=args.jobs,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            stream_analysis=True, observe_dir=args.data,
+        )
+        summary = result.observatory
+        print(f"observatory: {summary['days']} day files, "
+              f"{summary['records']} telescope records in {args.data}",
+              file=sys.stderr)
+    if not list_day_files(args.data):
+        print(f"error: no observer day files in {args.data}",
+              file=sys.stderr)
+        return 2
+    report = DriftReport.from_data_dir(args.data)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as stream:
+            json.dump(report.to_json(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"drift report written to {args.json}", file=sys.stderr)
+    return 0
 
 
 def _emit_metrics(registry: MetricsRegistry, metrics_arg) -> None:
@@ -262,6 +369,7 @@ def _serve(args) -> int:
         max_cache_bytes=args.cache_budget, journals_dir=args.journals,
         checkpoint_dir=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        observatory_dir=args.observatory,
     )
     server = ScenarioServer(service, host=args.host, port=args.port)
 
@@ -292,6 +400,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         from repro.experiments.report import JOBS_AWARE, STREAM_ELIGIBLE
 
+        if args.json:
+            import json
+
+            payload = [
+                {
+                    "id": key,
+                    "standalone": not needs_result,
+                    "jobs": key in JOBS_AWARE,
+                    "stream": key in STREAM_ELIGIBLE,
+                    "description": (fn.__doc__ or "")
+                    .strip().splitlines()[0],
+                }
+                for key, (fn, needs_result) in EXPERIMENTS.items()
+            ]
+            print(json.dumps(payload, indent=2))
+            return 0
+
         def describe(key: str) -> str:
             fn, _ = EXPERIMENTS[key]
             doc = (fn.__doc__ or "").strip().splitlines()[0]
@@ -314,6 +439,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         return _serve(args)
 
+    conflict = _mode_conflict(args)
+    if conflict is not None:
+        print(f"error: {conflict}", file=sys.stderr)
+        return 2
+
     # Install the observability layers before the scenario is built:
     # components bind their counters at construction time (tracer and
     # journal are fetched at call time, but installing everything up front
@@ -325,21 +455,24 @@ def main(argv: list[str] | None = None) -> int:
     prev_tracer = set_tracer(tracer) if tracer else None
     prev_journal = set_journal(journal) if journal else None
     try:
+        if args.command == "observe":
+            code = _observe(args)
+            if registry:
+                _emit_metrics(registry, args.metrics)
+            if tracer:
+                _emit_trace(tracer, args.trace)
+            return code
+
         if args.command == "run":
-            if args.stream and _cache_dir(args) is not None:
-                print("error: --stream is incompatible with --cache "
-                      "(streaming runs produce no record bundle to cache)",
-                      file=sys.stderr)
-                return 2
-            if args.spill is not None and (args.stream or args.checkpoint):
-                print("error: --spill composes with neither --stream nor "
-                      "--checkpoint (see run_scenario docs)",
-                      file=sys.stderr)
-                return 2
             result = _scenario(args)
             if args.stream:
                 print()
                 print(_render_stream_summary(result))
+                if result.observatory is not None:
+                    summary = result.observatory
+                    print(f"observatory: {summary['days']} day files, "
+                          f"{summary['records']} telescope records in "
+                          f"{summary['directory']}", file=sys.stderr)
                 if registry:
                     _emit_metrics(registry, args.metrics)
                 if tracer:
@@ -397,4 +530,11 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # ``repro list --json | head`` and friends: the consumer closed
+        # the pipe, which is an answer, not an error worth a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

@@ -175,9 +175,15 @@ class BstmModel:
         the regression part follows the observed control series.
         """
         kal = self._require_fit()
-        x_post = np.atleast_2d(np.asarray(x_post, dtype=float))
+        x_post = np.asarray(x_post, dtype=float)
+        # A control-free model is fed an (h, 0) matrix (mirroring fit());
+        # its row count still defines the horizon even though size == 0.
+        control_free = x_post.ndim == 2 and x_post.shape[1] == 0
+        x_post = np.atleast_2d(x_post)
         if horizon is None:
-            horizon = x_post.shape[0] if x_post.size else 0
+            horizon = (
+                x_post.shape[0] if (x_post.size or control_free) else 0
+            )
         if x_post.size and x_post.shape[0] != horizon:
             x_post = x_post.T
         steps = np.arange(1, horizon + 1)

@@ -90,7 +90,7 @@ def freeze_result(result):
         scenario=freeze_scenario(result.scenario),
         nta=result.nta, ntb=result.ntb, ntc=result.ntc,
         telemetry=result.telemetry, truth=dict(result.truth),
-        streaming=result.streaming,
+        streaming=result.streaming, observatory=result.observatory,
     )
 
 
@@ -108,7 +108,8 @@ def freeze_result(result):
 #: Bump when the checkpoint layout changes; mismatched files are ignored
 #: (the resume falls back to a fresh run rather than crashing).
 #: 2: added ``streaming`` (open analyzer state for ``stream_analysis``).
-CHECKPOINT_PROTOCOL = 2
+#: 3: added ``observatory`` (observer cursor for ``observe_dir`` runs).
+CHECKPOINT_PROTOCOL = 3
 
 
 @dataclass
@@ -133,6 +134,11 @@ class ScenarioCheckpoint:
     #: sessions, closed events, flow state).  None for batch runs — a
     #: checkpoint can only resume into the mode that wrote it.
     streaming: dict | None = None
+    #: ``observe_dir`` runs only: the
+    #: :class:`~repro.observatory.observer.ObservatoryState` cursor
+    #: (seen-source sets, cumulative event counts, honeyprefix first
+    #: contacts) at the boundary.  Same mode-pairing rule as streaming.
+    observatory: object | None = None
 
 
 def _capturers(scenario) -> dict:
@@ -152,7 +158,9 @@ def checkpoint_path(directory, config) -> Path:
 
 
 def capture_checkpoint(scenario, next_day: int, journal_records,
-                       streaming: dict | None = None) -> ScenarioCheckpoint:
+                       streaming: dict | None = None,
+                       observatory: object | None = None,
+                       ) -> ScenarioCheckpoint:
     """Snapshot a live scenario's resumable state at a day boundary."""
     from repro import __version__
     from repro.obs import config_hash
@@ -170,6 +178,7 @@ def capture_checkpoint(scenario, next_day: int, journal_records,
         },
         journal_records=list(journal_records),
         streaming=streaming,
+        observatory=observatory,
     )
 
 

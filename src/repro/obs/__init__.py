@@ -37,6 +37,7 @@ from repro.obs.journal import (
     set_journal,
     tail_journal,
     use_journal,
+    validate_record,
 )
 from repro.obs.registry import (
     Counter,
@@ -103,4 +104,5 @@ __all__ = [
     "use_journal",
     "use_registry",
     "use_tracer",
+    "validate_record",
 ]

@@ -66,6 +66,15 @@ RECORD_SCHEMAS: dict[str, frozenset] = {
     "checkpoint": frozenset({"day", "config_hash"}),
     # one per run, last line
     "run_end": frozenset({"days", "packets"}),
+    # longitudinal observatory (repro.observatory): one validated record
+    # per simulated day, written to data/observer-NNNNN.json and mirrored
+    # into data/observations.jsonl for live tailing.
+    "observer": frozenset({"day", "telescopes", "tactics", "honeyprefixes"}),
+    # closing line of observations.jsonl — the SSE stream's terminator.
+    "observatory_end": frozenset({"days", "records"}),
+    # append-only long-horizon index entry (data/index.jsonl): pins each
+    # emitted day file by content hash.
+    "observer_index": frozenset({"day", "file", "sha256"}),
 }
 
 

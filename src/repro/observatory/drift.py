@@ -1,0 +1,243 @@
+"""Drift and changepoint summaries over the observatory's per-day series.
+
+:class:`DriftReport` turns the emitted observer records into named daily
+series — drained records, sessions closed, and newly discovered sources
+per telescope, plus the tactic-mix source count — and computes, for each:
+
+* a **rolling trend**: the OLS slope per day over the whole series and
+  the mean of the most recent window, next to the all-time mean;
+* a **changepoint**: the day whose before/after split the local-level
+  state-space model finds most surprising, confirmed (effect size and
+  confidence interval) by a full causal-impact analysis.
+
+The changepoint engine deliberately reuses the BSTM machinery from
+:mod:`repro.analysis.bstm` — the same model the paper's §6 counterfactual
+analysis runs.  The candidate scan fits the local-level hyperparameters
+*once* over the full series (:func:`fit_local_level`), then, for each
+candidate day ``t``, filters the pre-``t`` prefix with those variances
+(:func:`kalman_filter_local_level` — no optimizer in the loop, so the
+scan is O(n) per candidate) and scores the post-``t`` mean against the
+model's forecast in standard-error units.  Only the winning candidate
+pays for a full :class:`CausalImpact` run (MLE refit + bootstrap), which
+provides the reported effect size, interval, and significance flag.
+
+Determinism: the scan is exact arithmetic and the causal-impact bootstrap
+runs under a fixed seed, so ``to_json()`` output is reproducible for a
+given data directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.analysis.bstm import (
+    CausalImpact,
+    fit_local_level,
+    kalman_filter_local_level,
+)
+from repro.analysis.streaming import SCAN_LEVELS
+
+
+@dataclass(frozen=True)
+class Changepoint:
+    """One detected level shift in a daily series."""
+
+    #: Simulated day the new regime starts (first post-shift day).
+    day: int
+    #: Position of that day within the series.
+    index: int
+    #: Scan score: |post mean - forecast| in forecast standard errors.
+    z: float
+    #: Causal-impact average effect (signed level shift).
+    shift: float
+    ci_low: float
+    ci_high: float
+    significant: bool
+
+
+@dataclass(frozen=True)
+class SeriesDrift:
+    """Trend + changepoint summary for one named series."""
+
+    name: str
+    n: int
+    mean: float
+    #: OLS slope per day over the full series.
+    trend_slope: float
+    #: Mean over the trailing window (the "where is it now" number).
+    recent_mean: float
+    changepoint: Changepoint | None
+
+
+class DriftReport:
+    """Rolling-trend and changepoint summaries over observer series."""
+
+    def __init__(self, days, series: dict, *, alpha: float = 0.05,
+                 n_resamples: int = 500, seed: int = 0,
+                 min_segment: int = 3, z_threshold: float = 3.0,
+                 window: int = 7):
+        self.days = [int(day) for day in days]
+        self.series = {}
+        for name, values in series.items():
+            y = np.asarray(values, dtype=float)
+            if len(y) != len(self.days):
+                raise ValueError(
+                    f"series {name!r} has {len(y)} values for "
+                    f"{len(self.days)} days")
+            self.series[name] = y
+        self.alpha = alpha
+        self.n_resamples = n_resamples
+        self.seed = seed
+        #: Shortest allowed pre/post segment — the state-space fit needs
+        #: at least 3 observations on each side.
+        self.min_segment = max(3, int(min_segment))
+        self.z_threshold = z_threshold
+        self.window = window
+        self._drifts: dict[str, SeriesDrift] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_observations(cls, records, **kwargs) -> "DriftReport":
+        """Build the standard series set from observer records.
+
+        Ignores non-``observer`` records (the ``observatory_end`` marker),
+        so the output of ``read_journal(observations.jsonl)`` works as
+        input unfiltered.
+        """
+        observations = [r for r in records if r.get("type") == "observer"]
+        if not observations:
+            raise ValueError("no observer records to summarize")
+        observations = sorted(observations, key=lambda r: r["day"])
+        days = [r["day"] for r in observations]
+        series: dict[str, list] = {}
+        for record in observations:
+            for name, section in sorted(record["telescopes"].items()):
+                series.setdefault(f"{name}.records", []).append(
+                    section["records"])
+                for level in SCAN_LEVELS:
+                    series.setdefault(f"{name}.events.{level}", []).append(
+                        section["events_closed"][str(level)])
+                series.setdefault(f"{name}.new_sources.64", []).append(
+                    section["new_sources"]["64"])
+            series.setdefault("tactics.sources", []).append(
+                record["tactics"]["sources"])
+        return cls(days, series, **kwargs)
+
+    @classmethod
+    def from_data_dir(cls, directory, **kwargs) -> "DriftReport":
+        from repro.observatory.index import read_observations
+
+        return cls.from_observations(read_observations(directory), **kwargs)
+
+    # -- analysis ----------------------------------------------------------
+
+    def drift(self, name: str) -> SeriesDrift:
+        if name not in self._drifts:
+            self._drifts[name] = self._analyze(name)
+        return self._drifts[name]
+
+    def summaries(self) -> list[SeriesDrift]:
+        return [self.drift(name) for name in sorted(self.series)]
+
+    def _analyze(self, name: str) -> SeriesDrift:
+        y = self.series[name]
+        n = len(y)
+        window = min(self.window, n)
+        return SeriesDrift(
+            name=name,
+            n=n,
+            mean=float(y.mean()),
+            trend_slope=self._slope(y),
+            recent_mean=float(y[-window:].mean()),
+            changepoint=self.changepoint(name),
+        )
+
+    @staticmethod
+    def _slope(y: np.ndarray) -> float:
+        """OLS slope per day — exact on a noiseless linear series."""
+        n = len(y)
+        if n < 2:
+            return 0.0
+        t = np.arange(n, dtype=float)
+        t_centered = t - t.mean()
+        return float((t_centered @ (y - y.mean())) / (t_centered @ t_centered))
+
+    def changepoint(self, name: str) -> Changepoint | None:
+        """The most surprising before/after split, or None if no split
+        clears the z threshold."""
+        y = self.series[name]
+        n = len(y)
+        if n < 2 * self.min_segment + 1:
+            return None
+        if np.allclose(y, y[0]):
+            return None
+        hyper = fit_local_level(y)
+        best_index, best_z = None, 0.0
+        for t in range(self.min_segment, n - self.min_segment + 1):
+            kal = kalman_filter_local_level(
+                y[:t], hyper.sigma_obs2, hyper.sigma_level2)
+            horizon = n - t
+            steps = np.arange(1, horizon + 1, dtype=float)
+            forecast_var = (kal.level_var[-1] + steps * hyper.sigma_level2
+                            + hyper.sigma_obs2)
+            shift = float(np.mean(y[t:] - kal.level[-1]))
+            se = float(np.sqrt(max(forecast_var.mean() / horizon, 1e-18)))
+            z = abs(shift) / se
+            if best_index is None or z > best_z:
+                best_index, best_z = t, z
+        if best_z < self.z_threshold:
+            return None
+        impact = CausalImpact(
+            alpha=self.alpha, rng=self.seed, n_resamples=self.n_resamples,
+        ).run(y, np.zeros((n, 0)), best_index)
+        return Changepoint(
+            day=self.days[best_index],
+            index=best_index,
+            z=round(best_z, 3),
+            shift=impact.average_effect,
+            ci_low=impact.ci_low,
+            ci_high=impact.ci_high,
+            significant=impact.significant,
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [
+            f"Observatory drift report — {len(self.days)} days "
+            f"({self.days[0]}..{self.days[-1]})",
+            f"  {'series':22s} {'mean':>10s} {'slope/day':>10s} "
+            f"{'recent':>10s}  changepoint",
+        ]
+        for drift in self.summaries():
+            cp = drift.changepoint
+            if cp is None:
+                note = "-"
+            else:
+                star = "*" if cp.significant else " "
+                note = (f"day {cp.day}: {cp.shift:+.2f} "
+                        f"[{cp.ci_low:.2f}, {cp.ci_high:.2f}]{star}")
+            lines.append(
+                f"  {drift.name:22s} {drift.mean:10.2f} "
+                f"{drift.trend_slope:+10.3f} {drift.recent_mean:10.2f}  "
+                f"{note}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "days": self.days,
+            "series": {
+                drift.name: {
+                    "n": drift.n,
+                    "mean": drift.mean,
+                    "trend_slope": drift.trend_slope,
+                    "recent_mean": drift.recent_mean,
+                    "changepoint": (asdict(drift.changepoint)
+                                    if drift.changepoint else None),
+                }
+                for drift in self.summaries()
+            },
+        }

@@ -1,0 +1,125 @@
+"""The observatory's long-horizon index: ``index.jsonl`` over day files.
+
+One append-only JSONL file per data directory, one ``observer_index``
+record per emitted day: the day number, the day file's name, its SHA-256,
+and headline counts (records drained, sessions closed).  The index is the
+cheap entry point for multi-year summaries — :class:`~repro.observatory.
+drift.DriftReport` and external tooling can scan it without parsing every
+day file — and the hash pins each day's bytes, so any later run that
+would *change* an already-indexed day (a config drift the manifest check
+missed, a corrupted file) fails loudly instead of silently forking
+history.
+
+:func:`update_index` is idempotent: re-running it appends entries only
+for days not yet indexed, verifies the hash of every day it already
+knows, and heals a torn final line (process killed mid-append) by
+truncating it before appending — mirroring the run journal's
+torn-line tolerance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+
+from repro.obs import JOURNAL_SCHEMA_VERSION, read_journal
+from repro.observatory.observer import (
+    INDEX_NAME,
+    ObservatoryError,
+    load_observer_day,
+    observer_line,
+)
+
+_DAY_FILE_RE = re.compile(r"^observer-(\d{5})\.json$")
+
+
+def list_day_files(directory) -> list[tuple[int, Path]]:
+    """All per-day observer files in ``directory``, in day order.
+
+    A directory that does not exist yet is an empty observatory, not an
+    error — callers probe before any run has written it.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in directory.iterdir():
+        match = _DAY_FILE_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def read_observations(directory) -> list[dict]:
+    """Every emitted observer record, validated, in day order.
+
+    Reads the atomic day files rather than ``observations.jsonl`` — the
+    files are the authoritative store; the jsonl mirror exists for
+    tailing.
+    """
+    return [load_observer_day(path) for _, path in list_day_files(directory)]
+
+
+def read_index(directory) -> list[dict]:
+    """The index records (torn final line tolerated), in file order."""
+    path = Path(directory) / INDEX_NAME
+    if not path.exists():
+        return []
+    return list(read_journal(path))
+
+
+def update_index(directory) -> list[dict]:
+    """Bring ``index.jsonl`` up to date with the day files on disk.
+
+    Returns the newly appended entries.  Already-indexed days are
+    verified against their recorded SHA-256; a mismatch raises
+    :class:`ObservatoryError`.
+    """
+    directory = Path(directory)
+    path = directory / INDEX_NAME
+    existing = {record["day"]: record for record in read_index(directory)}
+
+    appended = []
+    for day, day_path in list_day_files(directory):
+        payload = day_path.read_bytes()
+        digest = hashlib.sha256(payload).hexdigest()
+        if day in existing:
+            if existing[day]["sha256"] != digest:
+                raise ObservatoryError(
+                    f"{day_path.name} does not match its index entry "
+                    f"(history would fork); move the data dir aside")
+            continue
+        record = load_observer_day(day_path)
+        appended.append({
+            "v": JOURNAL_SCHEMA_VERSION,
+            "type": "observer_index",
+            "day": day,
+            "file": day_path.name,
+            "sha256": digest,
+            "records": sum(section["records"]
+                           for section in record["telescopes"].values()),
+            "events_closed": sum(
+                sum(section["events_closed"].values())
+                for section in record["telescopes"].values()),
+        })
+
+    if appended:
+        _truncate_torn_tail(path)
+        with open(path, "a", encoding="utf-8") as stream:
+            for record in appended:
+                stream.write(observer_line(record))
+    return appended
+
+
+def _truncate_torn_tail(path: Path) -> None:
+    """Drop a torn final line so the next append starts on a fresh line."""
+    if not path.exists():
+        return
+    payload = path.read_bytes()
+    if not payload or payload.endswith(b"\n"):
+        return
+    keep = payload.rfind(b"\n") + 1
+    with open(path, "r+b") as stream:
+        stream.truncate(keep)

@@ -124,6 +124,42 @@ class ServiceClient:
         finally:
             connection.close()
 
+    # -- observatory -------------------------------------------------------
+
+    def observatory_day(self, day: int) -> dict:
+        """One validated observer day record (404 → ServiceClientError)."""
+        return self._json("GET", f"/observatory/{day}")[1]
+
+    def observatory_index(self) -> list:
+        """The per-day sha256 index records."""
+        return self._json("GET", "/observatory/index")[1]
+
+    def stream_observatory(self):
+        """Yield observer records from the SSE observatory stream.
+
+        The server closes the stream after the ``observatory_end``
+        marker, so iteration ends there; concatenating the yielded
+        ``observer`` records reconstructs the on-disk day files.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", "/observatory")
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data).get("error", "")
+                except ValueError:
+                    message = data.decode(errors="replace")
+                raise ServiceClientError(response.status, message)
+            for raw in response:
+                line = raw.strip()
+                if line.startswith(b"data: "):
+                    yield json.loads(line[len(b"data: "):].decode())
+        finally:
+            connection.close()
+
     def metrics(self) -> dict:
         return self._json("GET", "/metrics")[1]
 

@@ -177,6 +177,7 @@ class ScenarioService:
         journals_dir: str | os.PathLike | None = None,
         checkpoint_dir: str | os.PathLike | None = None,
         checkpoint_every: int = 10,
+        observatory_dir: str | os.PathLike | None = None,
     ):
         self.cache = ScenarioCache(cache_dir, max_bytes=max_cache_bytes)
         self.jobs = max(1, int(jobs))
@@ -189,6 +190,12 @@ class ScenarioService:
             str(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.checkpoint_every = checkpoint_every
+        #: Observatory directory exposed at ``GET /observatory`` (live
+        #: SSE tail) and ``GET /observatory/<day>``; None leaves the
+        #: endpoints unconfigured (404).
+        self.observatory_dir = (
+            Path(observatory_dir) if observatory_dir is not None else None
+        )
         #: The service's own ops registry/tracer — the ``/metrics`` and
         #: ``/traces`` surfaces.  Worker snapshots are merged in.
         self.registry = MetricsRegistry()
@@ -374,6 +381,36 @@ class ScenarioService:
             run.journal_path, follow=follow, poll_interval=poll_interval,
             timeout=timeout, stop=run.done_event.is_set, end_types=(),
         )
+
+    # -- observatory -------------------------------------------------------
+
+    def _require_observatory(self) -> Path:
+        if self.observatory_dir is None:
+            raise UnknownRun(
+                "no observatory directory configured (serve --observatory)"
+            )
+        return self.observatory_dir
+
+    def observatory_stream_path(self) -> Path:
+        """The live ``observations.jsonl`` the SSE endpoint tails."""
+        from repro.observatory.observer import OBSERVATIONS_NAME
+
+        return self._require_observatory() / OBSERVATIONS_NAME
+
+    def observatory_day(self, day: int) -> dict:
+        """One validated observer day record from the data directory."""
+        from repro.observatory import day_file_path, load_observer_day
+
+        path = day_file_path(self._require_observatory(), day)
+        if not path.is_file():
+            raise UnknownRun(f"no observer record for day {day}")
+        return load_observer_day(path)
+
+    def observatory_index(self) -> list[dict]:
+        """The append-only per-day index (``index.jsonl``) records."""
+        from repro.observatory import read_index
+
+        return read_index(self._require_observatory())
 
     # -- cache lifecycle ---------------------------------------------------
 

@@ -24,6 +24,12 @@ ScenarioService` to many tenants:
 ``DELETE /runs/{id}/pin``     unpin it
 ``GET  /metrics``         the service registry snapshot (ops surface)
 ``GET  /traces``          exported trace spans
+``GET  /observatory``     Server-Sent Events tail of the observatory's
+                          ``observations.jsonl`` (one ``data:`` event per
+                          observer record, ends at ``observatory_end``);
+                          404 unless ``serve --observatory DIR`` is set
+``GET  /observatory/index``  the per-day sha256 index records
+``GET  /observatory/{day}``  one validated observer day record
 ========================  =================================================
 
 Responses carry ``Connection: close`` (one request per connection): every
@@ -246,6 +252,15 @@ class ScenarioServer:
         elif (len(parts) == 4 and parts[0] == "runs"
                 and parts[2] == "result" and method == "GET"):
             await self._result_file(parts[1], parts[3], writer)
+        elif path == "/observatory" and method == "GET":
+            await self._stream_observatory(writer)
+        elif path == "/observatory/index" and method == "GET":
+            records = await self._in_thread(self._observatory_index)
+            await self._send(writer, 200, records)
+        elif (len(parts) == 2 and parts[0] == "observatory"
+                and method == "GET"):
+            record = await self._in_thread(self._observatory_day, parts[1])
+            await self._send(writer, 200, record)
         elif (len(parts) == 3 and parts[0] == "runs" and parts[2] == "pin"
                 and method in ("POST", "DELETE")):
             self._pin(parts[1], unpin=method == "DELETE")
@@ -322,6 +337,57 @@ class ScenarioServer:
             if records:
                 await writer.drain()
             if done and not records:
+                return
+            await asyncio.sleep(PROGRESS_POLL_S)
+
+    def _observatory_index(self) -> list:
+        try:
+            return self.service.observatory_index()
+        except UnknownRun as error:
+            raise _HttpError(404, error.args[0]) from error
+
+    def _observatory_day(self, day_text: str) -> dict:
+        try:
+            day = int(day_text)
+        except ValueError as error:
+            raise _HttpError(400, f"bad day {day_text!r}") from error
+        try:
+            return self.service.observatory_day(day)
+        except UnknownRun as error:
+            raise _HttpError(404, error.args[0]) from error
+
+    async def _stream_observatory(self, writer) -> None:
+        """SSE: one ``data:`` event per observer record, tailing the live
+        ``observations.jsonl`` until its ``observatory_end`` marker.
+
+        Each event's payload is byte-identical to the record's line in
+        the day files (same ``sort_keys`` serialization), so a client
+        concatenating the stream reconstructs the on-disk records.
+        """
+        from repro.obs import JournalTail
+
+        try:
+            path = self.service.observatory_stream_path()
+        except UnknownRun as error:
+            raise _HttpError(404, error.args[0]) from error
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        tail = JournalTail(str(path))
+        while True:
+            records = await self._in_thread(tail.poll)
+            done = False
+            for record in records:
+                done = done or record.get("type") == "observatory_end"
+                event = "data: " + json.dumps(record, sort_keys=True) + "\n\n"
+                writer.write(event.encode())
+            if records:
+                await writer.drain()
+            if done:
                 return
             await asyncio.sleep(PROGRESS_POLL_S)
 

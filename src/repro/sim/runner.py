@@ -59,6 +59,10 @@ class ScenarioResult:
     #: columns above are empty in that mode — the packets were analyzed
     #: and released day by day, never retained.
     streaming: dict | None = None
+    #: ``observe_dir`` runs only: the observatory's closing summary
+    #: (``{"directory", "days", "records"}``) after its per-day observer
+    #: files, ``observations.jsonl``, and index were written.
+    observatory: dict | None = None
 
     @property
     def config(self) -> ScenarioConfig:
@@ -162,6 +166,7 @@ def run_scenario(
     resume: bool = False,
     abort_after_day: int | None = None,
     stream_analysis: bool = False,
+    observe_dir=None,
     spill_dir=None,
     spill_budget_bytes: int | None = None,
 ) -> ScenarioResult:
@@ -219,10 +224,23 @@ def run_scenario(
       Incompatible with ``checkpoint_dir`` (checkpoints snapshot
       in-memory chunks) and redundant under ``stream_analysis`` (the
       day-drain already bounds the buffer), so both pairings are errors.
+
+    ``observe_dir`` turns a streaming run into the longitudinal
+    observatory (:mod:`repro.observatory`): one validated, bit-
+    reproducible observer JSON record per simulated day (scan-event
+    rates, new-source discovery, tactic mix, honeyprefix reaction
+    latency) written into the directory, mirrored to
+    ``observations.jsonl``, and indexed at the end.  Requires
+    ``stream_analysis=True``; composes with ``jobs``, ``pipeline``, and
+    ``checkpoint_dir`` (the observer cursor rides in the checkpoint).
     """
     config = config if config is not None else ScenarioConfig()
     if jobs > 1 and not config.use_batch_path:
         raise ValueError("sharded runs (jobs > 1) require use_batch_path")
+    if observe_dir is not None and not stream_analysis:
+        raise ValueError(
+            "observe_dir requires stream_analysis=True: observer records "
+            "are derived from the streaming day drain")
     if stream_analysis and cache_dir is not None:
         raise ValueError(
             "stream_analysis runs produce no record bundle to cache; "
@@ -256,6 +274,18 @@ def run_scenario(
                 raise ValueError(
                     "cannot resume a stream_analysis checkpoint without "
                     "stream_analysis=True")
+            # Same pairing rule for the observatory cursor: its seen-source
+            # sets and event counters only mean anything to a run that
+            # keeps observing, and a run that observes cannot start from a
+            # checkpoint that never tracked them.
+            if observe_dir is not None and checkpoint.observatory is None:
+                raise ValueError(
+                    "cannot resume a non-observatory checkpoint with "
+                    "observe_dir set")
+            if observe_dir is None and checkpoint.observatory is not None:
+                raise ValueError(
+                    "cannot resume an observatory checkpoint without "
+                    "observe_dir")
 
     streams = None
     if stream_analysis:
@@ -274,6 +304,7 @@ def run_scenario(
     if checkpoint_dir is not None:
         recorder = RecordingJournal(inner=get_journal())
         previous_journal = set_journal(recorder)
+    observatory = None
     try:
         journal = get_journal()
         cache = None
@@ -304,6 +335,15 @@ def run_scenario(
                 cache = ScenarioCache(cache_dir)
         start_day = checkpoint.next_day if checkpoint is not None else 0
 
+        if observe_dir is not None:
+            from repro.observatory import Observatory
+
+            observatory = Observatory(
+                observe_dir, config, start_day=start_day,
+                state=(checkpoint.observatory
+                       if checkpoint is not None else None),
+            )
+
         with tracer.span("run_scenario", days=config.duration_days,
                          seed=config.seed):
             scenario = _simulate(
@@ -311,10 +351,12 @@ def run_scenario(
                 pipeline=pipeline, checkpoint_dir=checkpoint_dir,
                 checkpoint_every=checkpoint_every,
                 abort_after_day=abort_after_day, streams=streams,
+                observatory=observatory,
                 spill_dir=spill_dir, spill_budget_bytes=spill_budget_bytes,
             )
             sample_peak_rss(registry, stage="run")
             summaries = None
+            observatory_summary = None
             with registry.timer("scenario.freeze"), \
                     tracer.span("scenario.freeze"):
                 if streams is not None:
@@ -323,6 +365,8 @@ def run_scenario(
                     nta = ntb = ntc = PacketRecords.empty()
                     truth = {}
                     packets = sum(s.records_in for s in summaries.values())
+                    if observatory is not None:
+                        observatory_summary = observatory.finish()
                 else:
                     nta = scenario.telescope.capturer.to_records()
                     ntb = scenario.ntb_capturer.to_records()
@@ -351,11 +395,17 @@ def run_scenario(
             scenario=scenario, nta=nta, ntb=ntb, ntc=ntc,
             telemetry=registry.snapshot() if registry.enabled else {},
             truth=truth, streaming=summaries,
+            observatory=observatory_summary,
         )
         if cache is not None:
             cache.store(result)
         return result
     finally:
+        # An aborted observatory run releases its stream handle without
+        # the end marker — exactly the on-disk state a killed process
+        # leaves, which resume is built to heal.
+        if observatory is not None:
+            observatory.close()
         if checkpoint_dir is not None:
             set_journal(previous_journal)
 
@@ -368,14 +418,22 @@ def _scenario_capturers(scenario) -> dict:
     }
 
 
-def _feed_streams(scenario, streams, journal, day: int) -> None:
+def _feed_streams(scenario, streams, journal, day: int,
+                  observatory=None) -> None:
     """Drain each telescope's day of captures into its analyzer.
 
     ``now`` is the day boundary, so sessions idle past the timeout close
     deterministically each day regardless of when their source next shows
     up.  One ``stream_detection`` record per telescope, in fixed order —
     the serial and sharded paths emit identical journals.
+
+    With an ``observatory``, the drained day records are handed to it
+    after all three feeds, so the observer record sees the day's
+    post-feed tracker state alongside the raw packets.  The records are
+    released either way once the observation is written — the one-day
+    memory bound is unchanged.
     """
+    drained = {} if observatory is not None else None
     for name, cap in _scenario_capturers(scenario).items():
         records = cap.drain_day_records()
         closed = streams[name].feed(records, now=(day + 1) * DAY)
@@ -384,11 +442,16 @@ def _feed_streams(scenario, streams, journal, day: int) -> None:
             records_in=len(records), events_closed=closed,
             open_sessions=streams[name].open_sessions,
         )
+        if drained is not None:
+            drained[name] = records
+    if observatory is not None:
+        observatory.observe_day(day, scenario, streams, drained)
 
 
 def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
               checkpoint_dir, checkpoint_every, abort_after_day,
-              streams=None, spill_dir=None, spill_budget_bytes=None):
+              streams=None, observatory=None, spill_dir=None,
+              spill_budget_bytes=None):
     """Build (or rebuild-and-fast-forward) the scenario and run its days
     in the requested execution mode; returns the run scenario."""
     registry = get_registry()
@@ -417,9 +480,11 @@ def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
             journal.emit("checkpoint", day=next_day, config_hash=chash)
             save_checkpoint(
                 checkpoint_dir,
-                capture_checkpoint(scenario, next_day,
-                                   journal.plain_records(),
-                                   streaming=streams),
+                capture_checkpoint(
+                    scenario, next_day, journal.plain_records(),
+                    streaming=streams,
+                    observatory=(observatory.checkpoint_state()
+                                 if observatory is not None else None)),
                 config,
             )
 
@@ -445,7 +510,8 @@ def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
             on_day_end = None
             if streams is not None:
                 def on_day_end(day):
-                    _feed_streams(scenario, streams, journal, day)
+                    _feed_streams(scenario, streams, journal, day,
+                                  observatory=observatory)
 
             def on_window_end(next_day):
                 maybe_checkpoint(scenario, next_day)
@@ -497,7 +563,8 @@ def _simulate(config, checkpoint, start_day, *, progress, jobs, pipeline,
                     # into the analyzers or snapshot into a checkpoint.
                     pipe.drain()
                 if streams is not None:
-                    _feed_streams(scenario, streams, journal, day)
+                    _feed_streams(scenario, streams, journal, day,
+                                  observatory=observatory)
                 maybe_checkpoint(scenario, next_day)
                 if abort_after_day is not None and day >= abort_after_day:
                     if pipe is not None:

@@ -156,3 +156,60 @@ class TestErrors:
             client._request(
                 "GET", f"/runs/{view['run_id']}/result/evil.npz")
         assert info.value.status == 404
+
+
+class TestObservatory:
+    """The observatory surfaces: day files, index, and the live SSE tail."""
+
+    def test_unconfigured_observatory_is_404(self, client):
+        for probe in (lambda: client.observatory_day(0),
+                      lambda: client.observatory_index(),
+                      lambda: list(client.stream_observatory())):
+            with pytest.raises(ServiceClientError) as info:
+                probe()
+            assert info.value.status == 404
+
+    def test_live_stream_concatenates_to_day_files(self, tmp_path):
+        """Acceptance: SSE over a *live* observatory run yields exactly
+        the records the on-disk day files hold afterwards."""
+        import threading
+
+        from repro.observatory import read_observations
+        from repro.sim import run_scenario
+
+        data = tmp_path / "data"
+        server = ScenarioServer(
+            ScenarioService(tmp_path / "cache", observatory_dir=data),
+            port=0).start()
+        try:
+            client = ServiceClient("127.0.0.1", server.port)
+            runner = threading.Thread(
+                target=run_scenario, args=(TINY,),
+                kwargs={"stream_analysis": True, "observe_dir": data},
+            )
+            runner.start()
+            try:
+                # Attached before/while the run writes: the tail follows
+                # the live observations.jsonl and ends at the marker.
+                streamed = list(client.stream_observatory())
+            finally:
+                runner.join(timeout=120)
+            assert streamed[-1]["type"] == "observatory_end"
+            observers = [r for r in streamed if r["type"] == "observer"]
+            assert observers == read_observations(data)
+            assert [r["day"] for r in observers] \
+                == list(range(TINY.duration_days))
+
+            # The per-day and index endpoints agree with the stream.
+            assert client.observatory_day(0) == observers[0]
+            index = client.observatory_index()
+            assert [e["day"] for e in index] \
+                == list(range(TINY.duration_days))
+            with pytest.raises(ServiceClientError) as info:
+                client.observatory_day(TINY.duration_days)
+            assert info.value.status == 404
+            with pytest.raises(ServiceClientError) as info:
+                client.observatory_day("latest")
+            assert info.value.status == 400
+        finally:
+            server.stop()

@@ -181,3 +181,99 @@ class TestCli:
     def test_trace_without_file_prints_table(self, capsys):
         assert main(["experiment", "table2", "--trace"]) == 0
         assert "== trace" in capsys.readouterr().out
+
+
+class TestCliListJson:
+    def test_list_json_structure(self, capsys):
+        import json
+
+        from repro.experiments import EXPERIMENTS
+        from repro.experiments.report import JOBS_AWARE, STREAM_ELIGIBLE
+
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["id"] for entry in payload] == list(EXPERIMENTS)
+        for entry in payload:
+            assert set(entry) == {"id", "standalone", "jobs", "stream",
+                                  "description"}
+            assert entry["jobs"] == (entry["id"] in JOBS_AWARE)
+            assert entry["stream"] == (entry["id"] in STREAM_ELIGIBLE)
+        assert any(entry["jobs"] for entry in payload)
+        assert any(entry["stream"] for entry in payload)
+
+    def test_list_help_documents_markers(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["list", "--help"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        assert "'*'" in out and "'s'" in out
+
+
+class TestCliModeConflicts:
+    """Every mutually-exclusive mode combo: one clean error line, exit 2."""
+
+    CONFLICTS = [
+        (["run", "--stream", "--cache"], "--stream is incompatible"),
+        (["run", "--observe"], "--observe requires --stream"),
+        (["run", "--spill", "--stream"], "--spill is incompatible"),
+        (["run", "--spill", "--checkpoint"], "--spill is incompatible"),
+        (["run", "--resume"], "--resume requires --checkpoint"),
+        (["experiment", "table1", "--resume"],
+         "--resume requires --checkpoint"),
+        (["observe", "--cache"], "--stream is incompatible with --cache"),
+    ]
+
+    @pytest.mark.parametrize("argv,message", CONFLICTS,
+                             ids=[" ".join(c[0]) for c in CONFLICTS])
+    def test_conflict_refused_cleanly(self, capsys, argv, message):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # nothing ran
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1  # one line, no traceback
+        assert lines[0].startswith("error: ")
+        assert message in lines[0]
+
+    def test_stream_composes_with_no_cache(self, capsys):
+        """--no-cache defuses the --cache conflict instead of refusing."""
+        assert main(["run", "--stream", "--cache", "--no-cache",
+                     "--days", "2", "--scale", "1e-6", "--tail", "2"]) == 0
+        assert "Streaming scan summary" in capsys.readouterr().out
+
+
+class TestCliObserve:
+    def test_observe_end_to_end(self, capsys, tmp_path):
+        import json
+
+        data = tmp_path / "data"
+        report_path = tmp_path / "drift.json"
+        assert main(["observe", "--days", "3", "--scale", "1e-5",
+                     "--tail", "2", "--data", str(data),
+                     "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Observatory drift report" in out
+        assert sorted(p.name for p in data.glob("observer-*.json")) == [
+            "observer-00000.json", "observer-00001.json",
+            "observer-00002.json"]
+        report = json.loads(report_path.read_text())
+        assert report["days"] == [0, 1, 2]
+
+        # --summary-only re-renders from the same day files, run-free.
+        assert main(["observe", "--summary-only", "--data", str(data)]) == 0
+        assert "Observatory drift report" in capsys.readouterr().out
+
+    def test_summary_only_without_data_is_clean_error(self, capsys,
+                                                      tmp_path):
+        missing = tmp_path / "never-written"
+        assert main(["observe", "--summary-only",
+                     "--data", str(missing)]) == 2
+        err = capsys.readouterr().err.strip()
+        assert err == f"error: no observer day files in {missing}"
+
+    def test_run_observe_prints_summary(self, capsys, tmp_path):
+        data = tmp_path / "data"
+        assert main(["run", "--stream", f"--observe={data}",
+                     "--days", "2", "--scale", "1e-6", "--tail", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "Streaming scan summary" in captured.out
+        assert "observatory: 2 day files" in captured.err
