@@ -35,7 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.net.batch import PacketBatch
+from repro.net.batch import PacketBatch, WireBatch
 from repro.net.packet import Packet
 from repro.net.pcapstore import PacketWriter
 from repro.obs import get_registry
@@ -266,8 +266,15 @@ class PacketCapturer:
                     self._dst_lo, self._proto, self._sport, self._dport):
             col.clear()
 
-    def capture_batch(self, batch: PacketBatch) -> None:
-        """Record a whole columnar batch as one chunk (fast path)."""
+    def capture_batch(self, batch: PacketBatch | WireBatch) -> None:
+        """Record a whole columnar batch as one chunk (fast path).
+
+        Accepts the eight capture columns as a :class:`PacketBatch`; a
+        honeypot reply :class:`WireBatch` is captured through its capture
+        columns (transport detail is not part of the record format).
+        """
+        if isinstance(batch, WireBatch):
+            batch = batch.as_packet_batch()
         if len(batch) == 0:
             return
         self._packet_metric.inc(len(batch))

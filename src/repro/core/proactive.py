@@ -39,8 +39,8 @@ from repro.dns.registry import Registrar
 from repro.dns.reverse import ReverseZone
 from repro.hitlist.categories import HitlistCategory
 from repro.hitlist.service import HitlistService
-from repro.net.addr import IPv6Prefix
-from repro.net.batch import PacketBatch
+from repro.net.addr import IPv6Prefix, member_mask_cols, member_mask_u64
+from repro.net.batch import PacketBatch, WireBatch
 from repro.net.packet import ICMPV6, TCP, UDP, Packet
 from repro.obs import get_journal, get_registry, get_tracer
 from repro.routing.speaker import BgpSpeaker
@@ -84,12 +84,23 @@ class ProactiveTelescope:
         self.gateways: dict[str, DnatGateway] = {}
         self._domain_counter = itertools.count(1)
         self.response_count = 0
+        #: Columnar reaction kernels on the batch path (scalar per-packet
+        #: reference paths stay available behind this switch).
+        self.use_batch_react = True
+        #: Cached honeyprefix /48 key column for handle_batch; invalidated
+        #: whenever a deploy adds a honeyprefix.
+        self._hp_keys_hi: np.ndarray | None = None
 
         def _count_tx(_pkt: Packet) -> None:
             self.response_count += 1
 
+        def _count_tx_batch(replies: WireBatch) -> None:
+            self.response_count += len(replies)
+
         self.twinklenet.set_transmit(_count_tx)
+        self.twinklenet.set_transmit_batch(_count_tx_batch)
         self._count_tx = _count_tx
+        self._count_tx_batch = _count_tx_batch
 
     # -- deployment ------------------------------------------------------
 
@@ -117,6 +128,7 @@ class ProactiveTelescope:
         if key in self._hp_by_48:
             raise ValueError(f"a honeyprefix already occupies {prefix}")
         self._hp_by_48[key] = hp
+        self._hp_keys_hi = None
 
         self._deploy_bgp(hp, at)
         if config.domains:
@@ -200,6 +212,7 @@ class ProactiveTelescope:
         containers = TPOT1_CONTAINERS if hp.config.tpot == 1 else TPOT2_CONTAINERS
         tpot = TPotInstance(f"tpot{hp.config.tpot}", containers)
         gateway = DnatGateway(hp.prefix, tpot, transmit=self._count_tx)
+        gateway.set_transmit_batch(self._count_tx_batch)
         self.gateways[hp.name] = gateway
         # Mirror the T-Pot port surface onto the honeyprefix's responsive
         # map so hitlist probing and tactic attribution see it.
@@ -321,11 +334,12 @@ class ProactiveTelescope:
                 tracer.span("telescope.react", telescope=self.name):
             shift = np.uint64(16)  # /48 keeps 48 of hi's 64 bits
             hi48 = (batch.dst_hi >> shift) << shift
-            hp_keys_hi = np.fromiter(
-                (key >> 64 for key in self._hp_by_48),
-                dtype=np.uint64, count=len(self._hp_by_48),
-            )
-            hit = np.isin(hi48, hp_keys_hi)
+            if self._hp_keys_hi is None:
+                self._hp_keys_hi = np.fromiter(
+                    (key >> 64 for key in self._hp_by_48),
+                    dtype=np.uint64, count=len(self._hp_by_48),
+                )
+            hit = np.isin(hi48, self._hp_keys_hi)
             if not hit.any():
                 return  # control space: pure darknet
             for key_hi in np.unique(hi48[hit]):
@@ -337,8 +351,16 @@ class ProactiveTelescope:
                     self._react_twinklenet_slice(hp, sub)
 
     def _react_tpot_slice(self, hp: Honeyprefix, sub: PacketBatch) -> None:
-        """Route one honeyprefix's slice through its DNAT gateway,
-        materializing only rows the T-Pot surface can answer."""
+        """Route one honeyprefix's slice through its DNAT gateway."""
+        if self.use_batch_react:
+            self.gateways[hp.name].handle_batch(sub)
+        else:
+            self._react_tpot_slice_reference(hp, sub)
+
+    def _react_tpot_slice_reference(self, hp: Honeyprefix,
+                                    sub: PacketBatch) -> None:
+        """Per-packet reference: materialize only rows the T-Pot surface
+        can answer, bulk-account the rest."""
         gateway = self.gateways[hp.name]
         in_pref = sub.mask_dst_in(gateway.prefix)
         need = in_pref & (sub.proto == np.uint8(ICMPV6))
@@ -355,11 +377,17 @@ class ProactiveTelescope:
 
     def _react_twinklenet_slice(self, hp: Honeyprefix,
                                 sub: PacketBatch) -> None:
-        """Route one honeyprefix's slice through Twinklenet.
+        """Route one honeyprefix's slice through Twinklenet."""
+        if self.use_batch_react:
+            self.twinklenet.handle_batch(sub, owner_hint=hp)
+        else:
+            self._react_twinklenet_slice_reference(hp, sub)
 
-        TCP rows always materialize (session table + eviction sweeps need
-        every in-prefix segment); ICMP/UDP rows materialize only when the
-        honeyprefix's responsiveness map can answer them.
+    def _react_twinklenet_slice_reference(self, hp: Honeyprefix,
+                                          sub: PacketBatch) -> None:
+        """Per-packet reference: TCP rows always materialize (session table
+        + eviction sweeps need every in-prefix segment); ICMP/UDP rows
+        materialize only when the responsiveness map can answer them.
         """
         in_pref = sub.mask_dst_in(hp.prefix)
         need = in_pref & (sub.proto == np.uint8(TCP))
@@ -367,31 +395,23 @@ class ProactiveTelescope:
         if hp.config.aliased:
             need |= icmp
         elif icmp.any():
-            need |= icmp & self._addr_mask(sub, hp.icmp_addresses())
+            set_hi, set_lo = hp.icmp_address_columns()
+            need |= icmp & member_mask_u64(sub.dst_hi, sub.dst_lo,
+                                           set_hi, set_lo)
         udp = in_pref & (sub.proto == np.uint8(UDP))
         if udp.any():
-            bound = np.zeros(len(sub), dtype=bool)
-            for addr, bindings in hp.responsive.items():
-                ports = [p for proto, p in bindings if proto == UDP]
-                if not ports:
-                    continue
-                bound |= (self._addr_mask(sub, [addr])
-                          & np.isin(sub.dport,
-                                    np.asarray(ports, dtype=np.uint16)))
-            need |= udp & bound
+            # One composite-key membership test over the cached
+            # (address, port) binding columns replaces the old
+            # per-responsive-address Python loop.
+            set_hi, set_lo, set_ports = hp.binding_columns(UDP)
+            if len(set_hi):
+                need |= udp & member_mask_cols(
+                    (sub.dst_hi, sub.dst_lo, sub.dport),
+                    (set_hi, set_lo, set_ports))
         idx = np.nonzero(need)[0]
         self.twinklenet.note_dark(len(sub) - len(idx))
         for i in idx:
             self.twinklenet.handle(sub.packet_at(int(i)))
-
-    @staticmethod
-    def _addr_mask(sub: PacketBatch, addresses: list[int]) -> np.ndarray:
-        """Rows of ``sub`` whose destination is one of ``addresses``."""
-        mask = np.zeros(len(sub), dtype=bool)
-        for addr in addresses:
-            mask |= ((sub.dst_hi == np.uint64(addr >> 64)) &
-                     (sub.dst_lo == np.uint64(addr & 0xFFFFFFFFFFFFFFFF)))
-        return mask
 
     # -- hitlist oracle ------------------------------------------------------
 

@@ -351,6 +351,71 @@ def member_mask_u64(hi: np.ndarray, lo: np.ndarray,
     return in_set[ids[n_set:]]
 
 
+def group_ids_cols(cols: "list[np.ndarray] | tuple") -> tuple[np.ndarray, int]:
+    """Group rows by the tuple of key columns: ``(ids, n_groups)``.
+
+    The k-column generalization of :func:`group_ids_u64`: rows compare
+    equal when every column matches.  Ids are assigned in ascending
+    lexicographic order of the column tuple (first column is the primary
+    key).  This is the composite-key workhorse of the columnar honeypot
+    reply path — session keys are (peer, peer_port, local, local_port)
+    tuples spread over six u64 columns, NAT flow keys over six as well.
+    """
+    cols = [np.asarray(c) for c in cols]
+    n = len(cols[0])
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0
+    order = np.lexsort(tuple(reversed(cols)))
+    boundary = np.zeros(n, dtype=bool)
+    boundary[0] = True
+    for col in cols:
+        sc = col[order]
+        boundary[1:] |= sc[1:] != sc[:-1]
+    ids_sorted = np.cumsum(boundary) - 1
+    ids = np.empty(n, dtype=np.int64)
+    ids[order] = ids_sorted
+    return ids, int(ids_sorted[-1]) + 1
+
+
+def member_mask_cols(query_cols, set_cols) -> np.ndarray:
+    """Row-wise membership of a composite key in a composite-key set.
+
+    The k-column generalization of :func:`member_mask_u64`, used e.g. for
+    (address, port) binding lookups: the set is the bound (hi, lo, port)
+    triples, the query is the packet columns.  Exact — no hashing, no
+    packing collisions.
+    """
+    set_cols = [np.asarray(c) for c in set_cols]
+    query_cols = [np.asarray(c) for c in query_cols]
+    n_set = len(set_cols[0])
+    if n_set == 0:
+        return np.zeros(len(query_cols[0]), dtype=bool)
+    all_cols = [np.concatenate([s.astype(q.dtype, copy=False), q])
+                for s, q in zip(set_cols, query_cols)]
+    ids, n_groups = group_ids_cols(all_cols)
+    in_set = np.zeros(n_groups, dtype=bool)
+    in_set[ids[:n_set]] = True
+    return in_set[ids[n_set:]]
+
+
+def lookup_pos_u64(hi: np.ndarray, lo: np.ndarray,
+                   set_hi: np.ndarray, set_lo: np.ndarray,
+                   set_pos: np.ndarray) -> np.ndarray:
+    """Map each (hi, lo) row to ``set_pos`` of its match in the set (-1 on
+    miss).  The value-returning sibling of :func:`member_mask_u64`; the set
+    keys must be distinct."""
+    n_set = len(set_hi)
+    out = np.full(len(hi), -1, dtype=np.int64)
+    if n_set == 0 or len(hi) == 0:
+        return out
+    all_hi = np.concatenate([np.asarray(set_hi, dtype=np.uint64), hi])
+    all_lo = np.concatenate([np.asarray(set_lo, dtype=np.uint64), lo])
+    ids, n_groups = group_ids_u64(all_hi, all_lo)
+    pos_of_group = np.full(n_groups, -1, dtype=np.int64)
+    pos_of_group[ids[:n_set]] = np.asarray(set_pos, dtype=np.int64)
+    return pos_of_group[ids[n_set:]]
+
+
 def random_addresses_u64(prefix: IPv6Prefix, rng: np.random.Generator,
                          n: int) -> tuple[np.ndarray, np.ndarray]:
     """Draw ``n`` uniform addresses from ``prefix`` as (hi, lo) columns.

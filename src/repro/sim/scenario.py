@@ -84,6 +84,10 @@ class ScenarioConfig:
     #: (``emit_day_batch`` → ``dispatch_batch`` → ``capture_batch``).  Set
     #: False to run the retained per-packet reference implementation.
     use_batch_path: bool = True
+    #: Answer honeypot traffic through the columnar reaction kernels
+    #: (``Twinklenet.handle_batch`` / ``DnatGateway.handle_batch``).  Set
+    #: False to run the retained per-packet reference reaction.
+    use_batch_react: bool = True
 
 
 @dataclass
@@ -125,6 +129,7 @@ class PaperScenario:
             reverse_zone=self.fabric.reverse_zone,
             rng=rng_telescope,
         )
+        self.telescope.use_batch_react = cfg.use_batch_react
         self.fabric.register_oracle(self.telescope.responds)
         self.fabric.register_interaction(self.telescope.interaction_level)
         self.fabric.hitlist.add_candidate_source(self._announced_low_candidates)
